@@ -1,0 +1,113 @@
+// Command optimstore runs the reconstructed OptimStore evaluation: every
+// table and figure from DESIGN.md §3, or a single experiment by ID.
+//
+// Usage:
+//
+//	optimstore -list
+//	optimstore -exp all            # full suite (minutes)
+//	optimstore -exp F1 -quick      # one experiment, small sim window
+//	optimstore -exp F4 -format markdown
+//	optimstore -exp all -svg out/  # additionally write figures as SVG
+//	optimstore -exp all -html report.html  # one self-contained HTML report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/plot"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment ID (T1, T2, F1..F15) or 'all'")
+		quick  = flag.Bool("quick", false, "small simulation windows (seconds instead of minutes)")
+		format = flag.String("format", "text", "output format: text, markdown or csv")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		svgDir = flag.String("svg", "", "also write each figure as an SVG into this directory")
+		htmlTo = flag.String("html", "", "also write the whole run as a self-contained HTML report")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-4s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	opts := experiments.Options{Quick: *quick}
+	var all []*experiments.Result
+	for _, id := range ids {
+		res, err := experiments.Run(strings.TrimSpace(id), opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "optimstore:", err)
+			os.Exit(1)
+		}
+		all = append(all, res)
+		if *svgDir != "" {
+			if err := writeSVGs(*svgDir, res); err != nil {
+				fmt.Fprintln(os.Stderr, "optimstore:", err)
+				os.Exit(1)
+			}
+		}
+		switch *format {
+		case "text":
+			fmt.Print(res)
+		case "markdown":
+			fmt.Printf("## %s: %s\n\n", res.ID, res.Title)
+			for _, t := range res.Tables {
+				fmt.Println(t.Markdown())
+			}
+			for _, f := range res.Figures {
+				fmt.Println(f.Table().Markdown())
+			}
+		case "csv":
+			for _, t := range res.Tables {
+				fmt.Println(t.CSV())
+			}
+			for _, f := range res.Figures {
+				fmt.Println(f.Table().CSV())
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "optimstore: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+	if *htmlTo != "" {
+		if err := os.WriteFile(*htmlTo, []byte(report.HTML(all)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "optimstore:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *htmlTo)
+	}
+}
+
+// writeSVGs renders every figure of a result into dir, log-x when the x
+// range spans orders of magnitude (model-scale sweeps).
+func writeSVGs(dir string, res *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, f := range res.Figures {
+		opts := plot.DefaultOptions()
+		if min, max, ok := f.XRange(); ok && min > 0 && max/min >= 100 {
+			opts.LogX = true
+		}
+		name := fmt.Sprintf("%s_%d.svg", res.ID, i+1)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(plot.SVG(f, opts)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(dir, name))
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+// Command ssdsim drives the standalone SSD simulator with synthetic block
+// traces — useful for validating the FTL/GC substrate independently of the
+// in-storage-training workload.
+//
+// Usage:
+//
+//	ssdsim -pattern rand-write -reqs 20000 -op 0.125
+//	ssdsim -pattern mixed-70r30w -reqs 50000 -channels 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/nand"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		pattern  = flag.String("pattern", "rand-write", "seq-write, rand-write, seq-read, rand-read, mixed-70r30w")
+		reqs     = flag.Int("reqs", 20000, "number of page requests")
+		channels = flag.Int("channels", 2, "channels")
+		dies     = flag.Int("dies", 2, "dies per channel")
+		blocks   = flag.Int("blocks", 32, "blocks per plane")
+		op       = flag.Float64("op", 0.125, "over-provisioning fraction")
+		seed     = flag.Int64("seed", 42, "trace seed")
+		qd       = flag.Int("qd", 64, "NVMe queue depth")
+	)
+	flag.Parse()
+
+	var pat trace.Pattern
+	found := false
+	for _, p := range trace.Patterns() {
+		if p.String() == *pattern {
+			pat, found = p, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "ssdsim: unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+
+	n := nand.ParamsFor(nand.TLC)
+	n.BlocksPerPlane = *blocks
+	cfg := ssd.Config{
+		Channels:        *channels,
+		DiesPerChannel:  *dies,
+		Nand:            n,
+		OverProvision:   *op,
+		GCLowWater:      2,
+		GCHighWater:     4,
+		CachePages:      256,
+		DRAMPageLatency: 2 * sim.Microsecond,
+		CmdLatency:      5 * sim.Microsecond,
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "ssdsim:", err)
+		os.Exit(1)
+	}
+	eng := sim.NewEngine()
+	dev := ssd.NewDevice(eng, cfg)
+
+	// Precondition: fill the first half of the logical space so reads hit
+	// mapped pages.
+	logical := dev.FTL().LogicalPages()
+	for lpa := int64(0); lpa < logical/2; lpa++ {
+		dev.Preload(lpa)
+	}
+
+	reqList := trace.GenerateIO(pat, *reqs, logical, *seed)
+	readLat := stats.NewHist("read-latency-us")
+	writeLat := stats.NewHist("write-ack-latency-us")
+	queue := ssd.NewQueuePair(eng, "nvme", *qd)
+	for _, r := range reqList {
+		r := r
+		start := eng.Now()
+		submit := func(h *stats.Hist, op func(int64, func())) {
+			queue.Submit(func(complete func()) {
+				start = eng.Now()
+				op(r.LPA, complete)
+			}, func() {
+				h.Add((eng.Now() - start).Micros())
+			})
+		}
+		if r.Write {
+			submit(writeLat, dev.Write)
+		} else {
+			submit(readLat, dev.Read)
+		}
+	}
+	eng.Run()
+	drained := false
+	dev.Drain(func() { drained = true })
+	eng.Run()
+	if !drained {
+		fmt.Fprintln(os.Stderr, "ssdsim: device did not drain")
+		os.Exit(1)
+	}
+
+	elapsed := eng.Now()
+	s := dev.Stats()
+	t := stats.NewTable(fmt.Sprintf("ssdsim: %s, %d requests, QD%d", pat, *reqs, *qd), "metric", "value")
+	t.AddRow("simulated time", elapsed.String())
+	t.AddRow("throughput (IOPS)", float64(*reqs)/elapsed.Seconds())
+	t.AddRow("bandwidth (MB/s)", float64(*reqs)*float64(n.PageSize)/1e6/elapsed.Seconds())
+	if readLat.Count() > 0 {
+		t.AddRow("read latency p50/p99 (us)",
+			fmt.Sprintf("%.1f / %.1f", readLat.Percentile(50), readLat.Percentile(99)))
+	}
+	if writeLat.Count() > 0 {
+		t.AddRow("write ack p50/p99 (us)",
+			fmt.Sprintf("%.1f / %.1f", writeLat.Percentile(50), writeLat.Percentile(99)))
+	}
+	t.AddRow("host reads / writes", fmt.Sprintf("%d / %d", s.HostReads, s.HostWrites))
+	t.AddRow("GC relocations / erases", fmt.Sprintf("%d / %d", s.GCRelocations, s.GCErases))
+	t.AddRow("write amplification", s.WAF)
+	t.AddRow("max block P/E", dev.MaxEraseCount())
+	t.AddRow("queue utilization", fmt.Sprintf("%.2f", queue.Utilization()))
+	fmt.Print(t)
+}

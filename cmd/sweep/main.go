@@ -1,0 +1,100 @@
+// Command sweep runs one-dimensional parameter sweeps of the system
+// comparison and emits CSV, for plotting or regression tracking.
+//
+// Usage:
+//
+//	sweep -dim channels -values 2,4,8,16 -model GPT-13B
+//	sweep -dim lanes    -values 1,4,16   -systems optimstore
+//	sweep -dim pciegen  -values 3,4,5
+//	sweep -dim batch    -values 1,4,16,64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/host"
+)
+
+func main() {
+	var (
+		dim     = flag.String("dim", "channels", "sweep dimension: channels, dies, lanes, clock, pciegen, batch, buskbps")
+		values  = flag.String("values", "2,4,8,16", "comma-separated values")
+		model   = flag.String("model", "GPT-13B", "model name from the zoo")
+		systems = flag.String("systems", "hostoffload,ctrlisp,optimstore", "systems to run")
+		units   = flag.Int64("units", 512, "simulation window in update units")
+	)
+	flag.Parse()
+
+	m, err := dnn.ByName(*model)
+	if err != nil {
+		fail(err)
+	}
+	var vals []int
+	for _, v := range strings.Split(*values, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			fail(fmt.Errorf("bad value %q: %w", v, err))
+		}
+		vals = append(vals, n)
+	}
+
+	fmt.Printf("dim,value,system,opt_step_s,step_s,tokens_per_s,pcie_gb,bus_gb,nand_prog_gb,energy_j\n")
+	for _, v := range vals {
+		cfg := core.DefaultConfig(m)
+		cfg.MaxSimUnits = *units
+		if err := apply(&cfg, *dim, v); err != nil {
+			fail(err)
+		}
+		for _, name := range strings.Split(*systems, ",") {
+			sys, err := core.NewSystem(strings.TrimSpace(name), cfg)
+			if err != nil {
+				fail(err)
+			}
+			r, err := sys.Run()
+			if err != nil {
+				fail(err)
+			}
+			if !r.Feasible {
+				continue
+			}
+			fmt.Printf("%s,%d,%s,%.6f,%.6f,%.2f,%.3f,%.3f,%.3f,%.3f\n",
+				*dim, v, r.System, r.OptStepTime.Seconds(), r.StepTime.Seconds(),
+				r.TokensPerSec, float64(r.PCIeBytes)/1e9, float64(r.BusBytes)/1e9,
+				float64(r.NANDProgramBytes)/1e9, r.Energy.Total())
+		}
+	}
+}
+
+// apply sets one sweep dimension on the configuration.
+func apply(cfg *core.Config, dim string, v int) error {
+	switch dim {
+	case "channels":
+		cfg.SSD.Channels = v
+	case "dies":
+		cfg.SSD.DiesPerChannel = v
+	case "lanes":
+		cfg.ODP.Lanes = v
+	case "clock":
+		cfg.ODP.ClockMHz = v
+	case "pciegen":
+		cfg.Link = host.PCIe(v, 4)
+	case "batch":
+		cfg.Batch = v
+	case "buskbps":
+		cfg.SSD.Nand.BusMBps = v
+	default:
+		return fmt.Errorf("unknown sweep dimension %q", dim)
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

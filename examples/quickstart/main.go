@@ -1,0 +1,66 @@
+// Quickstart: the OptimStore reproduction in ~60 lines.
+//
+// Part 1 shows the optimizer algorithms converging on a toy problem (the
+// same gold implementations the simulated on-die kernels are verified
+// against). Part 2 runs the headline comparison: one optimizer step of
+// GPT-13B/Adam on the in-storage system vs the host-offload baseline.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/optim"
+	"repro/internal/trace"
+)
+
+func main() {
+	// --- Part 1: the optimizers themselves -------------------------------
+	fmt.Println("Part 1: Adam on a 64-dim quadratic (gold optimizer implementation)")
+	problem := trace.NewQuadratic(42, 64)
+	w := make([]float32, problem.Dim())
+	g := make([]float32, problem.Dim())
+	opt := optim.New(optim.Adam, optim.Hyper{LR: 0.05})
+	for step := 0; step <= 500; step++ {
+		if step%100 == 0 {
+			fmt.Printf("  step %3d  loss %.6f\n", step, problem.Loss(w))
+		}
+		problem.Grad(w, g)
+		opt.Step(w, g)
+	}
+
+	// --- Part 2: the in-storage system ------------------------------------
+	fmt.Println("\nPart 2: one optimizer step of GPT-13B (Adam, mixed precision)")
+	cfg := core.DefaultConfig(dnn.GPT13B())
+	cfg.MaxSimUnits = 512 // small simulation window; results extrapolate
+
+	for _, name := range []string{"hostoffload", "optimstore"} {
+		sys, err := core.NewSystem(name, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := sys.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s opt-step %8.2fs   PCIe %6.1f GB   energy %6.1f J\n",
+			r.System, r.OptStepTime.Seconds(), float64(r.PCIeBytes)/1e9, r.Energy.Total())
+	}
+
+	off, _ := core.NewSystem("hostoffload", cfg)
+	ost, _ := core.NewSystem("optimstore", cfg)
+	ro, err := off.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := ost.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n  => OptimStore speedup: %.2fx, energy reduction: %.2fx\n",
+		rs.Speedup(ro), ro.Energy.Total()/rs.Energy.Total())
+}

@@ -1,0 +1,86 @@
+// train_demo exercises the optimizer library the way a training framework
+// would: every algorithm (including sub-linear-memory Adafactor) on the
+// same synthetic problem, with warmup+cosine learning-rate scheduling and
+// global-norm gradient clipping, plus the mixed-precision drift analysis
+// that justifies shipping FP16 gradients to the SSD.
+//
+// Run with: go run ./examples/train_demo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/optim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+const (
+	dim   = 256
+	steps = 400
+)
+
+func main() {
+	// --- 1. Optimizer shoot-out with scheduling and clipping ---------------
+	fmt.Println("1. All optimizers on a 256-dim quadratic (warmup+cosine LR, clip=1.0):")
+	table := stats.NewTable("", "optimizer", "state-words", "final-loss", "grad-norm-clips")
+	for _, kind := range optim.Kinds() {
+		problem := trace.NewQuadratic(7, dim)
+		w := make([]float32, dim)
+		g := make([]float32, dim)
+		sched, err := optim.NewWarmupCosine(20, steps, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := optim.NewScheduled(optim.New(kind, optim.Hyper{LR: 0.1}), sched)
+		clips := 0
+		for s := 0; s < steps; s++ {
+			problem.Grad(w, g)
+			if optim.ClipGlobalNorm(g, 1.0) > 1.0 {
+				clips++
+			}
+			opt.Step(w, g)
+		}
+		table.AddRow(kind.String(), optim.StateWordsFor(kind), problem.Loss(w), clips)
+	}
+	// Adafactor works on matrices; reshape the same problem.
+	{
+		problem := trace.NewQuadratic(7, dim)
+		w := make([]float32, dim)
+		g := make([]float32, dim)
+		af := optim.NewAdafactor(16, 16, optim.Hyper{LR: 0.1})
+		for s := 0; s < steps; s++ {
+			problem.Grad(w, g)
+			optim.ClipGlobalNorm(g, 1.0)
+			af.Step(w, g)
+		}
+		table.AddRow(
+			fmt.Sprintf("Adafactor (16x16, %.4f words/param)", af.StateWordsPerParam()),
+			0, problem.Loss(w), "-")
+	}
+	fmt.Print(table)
+
+	// --- 2. Why page-parallel on-die execution is safe ---------------------
+	fmt.Println("\n2. Paged (per-die) execution is bit-identical to the monolithic update:")
+	for _, kind := range []optim.Kind{optim.SGD, optim.Adam, optim.AdamW} {
+		err := core.VerifyPagedEquivalence(kind, optim.Hyper{LR: 0.01}, 4096, 256, 10, 3)
+		status := "bit-identical over 10 steps"
+		if err != nil {
+			status = err.Error()
+		}
+		fmt.Printf("   %-8s %s\n", kind, status)
+	}
+
+	// --- 3. What FP16 gradient delivery costs numerically ------------------
+	fmt.Println("\n3. Mixed-precision drift (FP16 gradients over the wire, FP32 state):")
+	for _, kind := range []optim.Kind{optim.SGD, optim.Adam} {
+		drift, err := core.MixedPrecisionDrift(kind, optim.Hyper{LR: 1e-3}, 2048, 50, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   %-8s max |w_fp16path - w_exact| after 50 steps: %.3g  (total movement ~%.3g)\n",
+			kind, drift, 50*1e-3)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// ClusterConfig describes data-parallel training over N workers, each with
+// its own GPU and SSD, ZeRO-style: the optimizer state is sharded 1/N per
+// device, gradients are ring-all-reduced before the sharded update, and
+// updated working-precision weights are all-gathered afterwards.
+type ClusterConfig struct {
+	// Workers is the data-parallel degree.
+	Workers int
+	// InterconnectGBps is the per-worker all-reduce bandwidth (the ring
+	// link rate — 25 for 200GbE, ~50 for HDR InfiniBand).
+	InterconnectGBps float64
+}
+
+// DefaultCluster returns a 200GbE-class ring.
+func DefaultCluster(workers int) ClusterConfig {
+	return ClusterConfig{Workers: workers, InterconnectGBps: 25}
+}
+
+// Validate reports the first structural problem.
+func (c ClusterConfig) Validate() error {
+	if c.Workers < 1 || c.InterconnectGBps <= 0 {
+		return fmt.Errorf("core: cluster config %+v", c)
+	}
+	return nil
+}
+
+// ClusterReport is the outcome of one data-parallel training step.
+type ClusterReport struct {
+	System  string
+	Model   string
+	Workers int
+
+	// ShardOptStep is the per-device optimizer step over its 1/N shard.
+	ShardOptStep sim.Time
+	// AllReduce is the gradient ring-all-reduce; AllGather the weight
+	// redistribution.
+	AllReduce sim.Time
+	AllGather sim.Time
+	// FwdBwd is the per-worker compute (data parallel: full model, local
+	// micro-batch).
+	FwdBwd sim.Time
+	// StepTime is the end-to-end global step; TokensPerSec counts the
+	// global batch.
+	StepTime     sim.Time
+	TokensPerSec float64
+	// Efficiency is TokensPerSec / (N × single-worker rate). It can
+	// exceed 1: sharding divides the optimizer bottleneck by N while the
+	// compute phase stays constant (the ZeRO effect). Collectives pull it
+	// back down as N grows.
+	Efficiency float64
+}
+
+// RunCluster evaluates one system under data-parallel scaling. Per-shard
+// device behaviour comes from a real simulation of the sharded
+// configuration; the collectives use the standard ring cost model
+// (2(N−1)/N volume for all-reduce, (N−1)/N for all-gather).
+func RunCluster(cfg Config, cc ClusterConfig, system string) (*ClusterReport, error) {
+	if err := cc.Validate(); err != nil {
+		return nil, err
+	}
+	// Shard the parameter space: each device owns 1/N of the units.
+	shard := cfg
+	shard.Model.Params = int64(math.Ceil(float64(cfg.Model.Params) / float64(cc.Workers)))
+	sys, err := NewSystem(system, shard)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sys.Run()
+	if err != nil {
+		return nil, err
+	}
+	if !r.Feasible {
+		return nil, fmt.Errorf("core: %s infeasible on shard: %s", system, r.Notes)
+	}
+
+	spec := cfg.Spec()
+	touched := float64(cfg.Model.Params) * cfg.Model.UpdateFraction()
+	gradBytes := touched * float64(spec.GradBytes)
+	woutBytes := touched * float64(spec.WeightOutBytes)
+	n := float64(cc.Workers)
+	bw := cc.InterconnectGBps // GB/s ≡ bytes/ns
+	rep := &ClusterReport{
+		System:       system,
+		Model:        cfg.Model.Name,
+		Workers:      cc.Workers,
+		ShardOptStep: r.OptStepTime,
+		FwdBwd:       cfg.GPU.ComputeTime(cfg.Model.StepFlops(cfg.Batch)),
+	}
+	if cc.Workers > 1 {
+		rep.AllReduce = sim.Time(2 * (n - 1) / n * gradBytes / bw)
+		rep.AllGather = sim.Time((n - 1) / n * woutBytes / bw)
+	}
+
+	// Serial composition with the same scalar overlap applied to the
+	// optimizer phase as in the single-device model.
+	hidden := sim.Time(float64(rep.FwdBwd) * cfg.OverlapFraction)
+	exposed := rep.ShardOptStep + rep.AllReduce + rep.AllGather - hidden
+	if exposed < 0 {
+		exposed = 0
+	}
+	rep.StepTime = rep.FwdBwd + exposed
+	globalTokens := float64(cfg.Model.BatchTokens(cfg.Batch)) * n
+	rep.TokensPerSec = globalTokens / rep.StepTime.Seconds()
+
+	// Efficiency vs N× the single-worker rate.
+	if cc.Workers == 1 {
+		rep.Efficiency = 1
+		return rep, nil
+	}
+	single, err := RunCluster(cfg, ClusterConfig{Workers: 1, InterconnectGBps: cc.InterconnectGBps}, system)
+	if err != nil {
+		return nil, err
+	}
+	rep.Efficiency = rep.TokensPerSec / (n * single.TokensPerSec)
+	return rep, nil
+}

@@ -1,0 +1,205 @@
+// Package core assembles the substrates into the four systems the
+// reproduction compares:
+//
+//   - OptimStore   — in-storage optimizer update with on-die processing,
+//   - HostOffload  — ZeRO-Infinity-style baseline: state streamed to the
+//     GPU over PCIe, updated there, streamed back,
+//   - CtrlISP      — in-storage processing at the SSD controller (near-
+//     storage but not on-die),
+//   - GPUResident  — the no-offload reference, feasible only while
+//     optimizer state fits in device memory.
+//
+// Every system consumes one Config and produces one Report; the benchmark
+// harness sweeps Config fields to regenerate the paper's tables and
+// figures.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+	"repro/internal/host"
+	"repro/internal/layout"
+	"repro/internal/odp"
+	"repro/internal/optim"
+	"repro/internal/ssd"
+)
+
+// Config describes one experiment point.
+type Config struct {
+	SSD  ssd.Config
+	ODP  odp.Params
+	Link host.LinkParams
+	GPU  host.GPUParams
+	// HostCPU is the host-side update engine (unused by the default
+	// GPU-offload baseline but reported for reference).
+	HostCPU host.CPUParams
+	// CtrlCPU is the SSD controller's embedded compute, used by CtrlISP.
+	CtrlCPU host.CPUParams
+
+	Optimizer optim.Kind
+	Precision optim.Precision
+	Layout    layout.Strategy
+	Model     dnn.Model
+	Batch     int
+
+	// MaxSimUnits caps the number of update units simulated at event
+	// granularity. The optimizer step is throughput-bound and perfectly
+	// homogeneous, so results from the window extrapolate linearly to the
+	// full parameter count (Report records both).
+	MaxSimUnits int64
+
+	// TransferChunkBytes batches PCIe transfers, amortising per-DMA
+	// latency the way real runtimes do.
+	TransferChunkBytes int64
+
+	// OverlapFraction is the fraction of forward+backward compute the
+	// optimizer step can hide under (gradients stream out during the
+	// backward pass). Applied identically to every system.
+	OverlapFraction float64
+
+	// ComputeHook, when set, is invoked synchronously each time a unit's
+	// optimizer kernel executes on its home die (in simulation-event
+	// order). Functional co-simulation uses it to apply the real optimizer
+	// math in exactly the order the hardware would, proving the
+	// event-driven pipeline preserves numerics. Nil in normal runs.
+	ComputeHook func(unit int64)
+
+	// LayerwiseOverlap switches the end-to-end model from the scalar
+	// OverlapFraction formula to a simulated pipeline: gradient chunks
+	// become available as the backward pass produces them (last layer
+	// first), and the simulation measures the true overlapped step time.
+	// Report.StepTime is then the simulated pipeline span and
+	// Report.OptStepTime the optimizer cost exposed beyond fwd+bwd.
+	LayerwiseOverlap bool
+}
+
+// DefaultConfig returns the baseline experiment configuration for a model.
+func DefaultConfig(model dnn.Model) Config {
+	return Config{
+		SSD:                ssd.DefaultConfig(),
+		ODP:                odp.DefaultParams(),
+		Link:               host.PCIe(3, 4),
+		GPU:                host.A100_40(),
+		HostCPU:            host.XeonHost(),
+		CtrlCPU:            host.SSDController(),
+		Optimizer:          optim.Adam,
+		Precision:          optim.Mixed16,
+		Layout:             layout.Colocated,
+		Model:              model,
+		Batch:              8,
+		MaxSimUnits:        2048,
+		TransferChunkBytes: 1 << 20,
+		OverlapFraction:    0.5,
+	}
+}
+
+// Validate reports the first structural problem.
+func (c Config) Validate() error {
+	if err := c.SSD.Validate(); err != nil {
+		return err
+	}
+	if err := c.ODP.Validate(); err != nil {
+		return err
+	}
+	if err := c.Link.Validate(); err != nil {
+		return err
+	}
+	if err := c.GPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.HostCPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.CtrlCPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.Batch <= 0 {
+		return fmt.Errorf("core: batch %d", c.Batch)
+	}
+	if c.MaxSimUnits <= 0 {
+		return fmt.Errorf("core: MaxSimUnits %d", c.MaxSimUnits)
+	}
+	if c.TransferChunkBytes <= 0 {
+		return fmt.Errorf("core: TransferChunkBytes %d", c.TransferChunkBytes)
+	}
+	if c.OverlapFraction < 0 || c.OverlapFraction > 1 {
+		return fmt.Errorf("core: OverlapFraction %v", c.OverlapFraction)
+	}
+	// The on-die unit must stage every resident page of a unit plus the
+	// incoming gradient page simultaneously; a smaller buffer cannot run
+	// the kernel at all.
+	need := (c.Comps() + 1) * c.SSD.Nand.PageSize
+	if have := c.ODP.BufferKB * 1024; have < need {
+		return fmt.Errorf("core: ODP buffer %d KiB cannot stage %d pages of %d B (%s needs %d KiB)",
+			c.ODP.BufferKB, c.Comps()+1, c.SSD.Nand.PageSize, c.Optimizer, need/1024)
+	}
+	return nil
+}
+
+// Spec returns the per-parameter byte footprint for the configured
+// optimizer and precision.
+func (c Config) Spec() optim.StateSpec { return optim.SpecFor(c.Optimizer, c.Precision) }
+
+// ElemsPerPage is the parameters per update unit: one page of FP32 master
+// weights.
+func (c Config) ElemsPerPage() int { return c.SSD.Nand.PageSize / 4 }
+
+// Comps is the resident pages per update unit: the master-weight page
+// plus however many pages the optimizer state occupies at the configured
+// precision (two FP32 moments fill two pages; 8-bit quantized moments for
+// the same unit pack into one).
+func (c Config) Comps() int {
+	stateBytes := c.Spec().StateBytes * c.ElemsPerPage()
+	pageSize := c.SSD.Nand.PageSize
+	return 1 + (stateBytes+pageSize-1)/pageSize
+}
+
+// TotalUnits is the number of update units covering the model's state.
+func (c Config) TotalUnits() int64 {
+	e := int64(c.ElemsPerPage())
+	return (c.Model.Params + e - 1) / e
+}
+
+// TouchedUnits is the number of units one training step actually updates:
+// all of them for dense models, a sparse subset for embedding-table models
+// (the per-step traffic and time scale with this, not with TotalUnits).
+func (c Config) TouchedUnits() int64 {
+	t := int64(float64(c.TotalUnits())*c.Model.UpdateFraction() + 0.5)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// SimUnits is the number of units actually simulated (the sample window).
+func (c Config) SimUnits() int64 {
+	if t := c.TouchedUnits(); t < c.MaxSimUnits {
+		return t
+	}
+	return c.MaxSimUnits
+}
+
+// ScaleFactor extrapolates window results to one full step's touched units.
+func (c Config) ScaleFactor() float64 {
+	return float64(c.TouchedUnits()) / float64(c.SimUnits())
+}
+
+// GradBytesPerUnit is the gradient traffic per unit arriving from the host.
+func (c Config) GradBytesPerUnit() int64 {
+	return int64(c.ElemsPerPage()) * int64(c.Spec().GradBytes)
+}
+
+// WeightOutBytesPerUnit is the working-precision weight traffic per unit
+// returned to the host.
+func (c Config) WeightOutBytesPerUnit() int64 {
+	return int64(c.ElemsPerPage()) * int64(c.Spec().WeightOutBytes)
+}
+
+// ResidentBytesPerUnit is the in-storage footprint per unit.
+func (c Config) ResidentBytesPerUnit() int64 {
+	return int64(c.Comps()) * int64(c.SSD.Nand.PageSize)
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/nand"
+)
+
+func TestEnduranceSLCBeatsTLC(t *testing.T) {
+	cfg := testConfig(dnn.GPT2XL())
+	tlc, err := RunEndurance(cfg, nand.TLC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slc, err := RunEndurance(cfg, nand.SLC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tlc.Fits || !slc.Fits {
+		t.Fatalf("GPT-2-XL state (%d B) should fit both modes", tlc.StateBytes)
+	}
+	// SLC has ~33× the P/E budget of TLC but 1/2 the pages per block in
+	// this model; lifetime must still be far longer.
+	if slc.LifetimeSteps <= 5*tlc.LifetimeSteps {
+		t.Fatalf("SLC lifetime %.3g steps not >> TLC %.3g", slc.LifetimeSteps, tlc.LifetimeSteps)
+	}
+	if tlc.LifetimeSteps <= 0 || tlc.LifetimeDays <= 0 {
+		t.Fatalf("degenerate TLC lifetime: %+v", tlc)
+	}
+}
+
+func TestEnduranceWAFNearOneForSequentialUpdates(t *testing.T) {
+	cfg := testConfig(dnn.GPT2XL())
+	rep, err := RunEndurance(cfg, nand.TLC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense optimizer updates sweep the state sequentially, invalidating
+	// whole blocks: write amplification should be mild.
+	if rep.MeasuredWAF < 1 || rep.MeasuredWAF > 1.6 {
+		t.Fatalf("sequential-update WAF = %v, want ~1", rep.MeasuredWAF)
+	}
+	if rep.ProgramBytesPerStep < float64(rep.StateBytes) {
+		t.Fatal("program bytes cannot be below state bytes")
+	}
+}
+
+func TestEnduranceDoesNotFit(t *testing.T) {
+	// GPT-175B Adam state is 2.1 TB; a 0.7 TB SLC-mode device cannot hold it.
+	cfg := testConfig(dnn.GPT175B())
+	rep, err := RunEndurance(cfg, nand.SLC, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fits {
+		t.Fatalf("175B state (%d B) reported as fitting %d B device", rep.StateBytes, rep.DeviceBytes)
+	}
+}
+
+func TestEnduranceRejectsBadSteps(t *testing.T) {
+	if _, err := RunEndurance(testConfig(dnn.GPT2XL()), nand.TLC, 1); err == nil {
+		t.Fatal("steps=1 accepted")
+	}
+}
+
+func TestMeasureUpdateWAFMoreOPLessWAF(t *testing.T) {
+	// Shrinking over-provisioning must not reduce write amplification.
+	low, err := measureUpdateWAF(nand.TLC, 0.07, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := measureUpdateWAF(nand.TLC, 0.28, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high > low+1e-9 {
+		t.Fatalf("WAF(OP=28%%)=%v > WAF(OP=7%%)=%v", high, low)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fp16"
+	"repro/internal/optim"
+	"repro/internal/trace"
+)
+
+// VerifyPagedEquivalence checks the numerical claim behind on-die
+// execution: an element-wise optimizer applied independently per page (the
+// way each die's processing unit sees only its resident pages) is
+// bit-identical to the monolithic reference update. It runs `steps` steps
+// over n parameters split into pageElems-sized pages, with deterministic
+// gradients, processing pages in reverse order to prove order independence.
+//
+// LAMB is rejected: its trust ratio couples all elements of a layer, which
+// is exactly why the timing model gives it a second read pass and a global
+// reduction (see optim.Kernel.GlobalReduce).
+func VerifyPagedEquivalence(kind optim.Kind, hp optim.Hyper, n, pageElems, steps int, seed int64) error {
+	if kind == optim.LAMB {
+		return fmt.Errorf("core: LAMB is not element-wise; paged equivalence does not apply")
+	}
+	if n <= 0 || pageElems <= 0 || steps <= 0 {
+		return fmt.Errorf("core: VerifyPagedEquivalence(%d, %d, %d)", n, pageElems, steps)
+	}
+
+	// Monolithic reference.
+	gold := make([]float32, n)
+	goldOpt := optim.New(kind, hp)
+
+	// Paged execution: one optimizer instance per page, owning that page's
+	// state slice — the software model of per-die state residency.
+	paged := make([]float32, n)
+	nPages := (n + pageElems - 1) / pageElems
+	pageOpts := make([]optim.Optimizer, nPages)
+	for p := range pageOpts {
+		pageOpts[p] = optim.New(kind, hp)
+	}
+
+	for step := 0; step < steps; step++ {
+		g := trace.Gradients(seed+int64(step), n)
+		goldOpt.Step(gold, g)
+		// Reverse page order: dies complete in arbitrary order in reality.
+		for p := nPages - 1; p >= 0; p-- {
+			lo := p * pageElems
+			hi := lo + pageElems
+			if hi > n {
+				hi = n
+			}
+			pageOpts[p].Step(paged[lo:hi], g[lo:hi])
+		}
+	}
+
+	for i := range gold {
+		if gold[i] != paged[i] {
+			return fmt.Errorf("core: divergence at element %d after %d steps: gold=%v paged=%v",
+				i, steps, gold[i], paged[i])
+		}
+	}
+	return nil
+}
+
+// MixedPrecisionDrift quantifies what the Mixed16 interface costs
+// numerically: it trains twice on identical gradient streams — once with
+// exact FP32 gradient delivery, once with gradients quantised through
+// IEEE binary16 (what crosses PCIe to the SSD in mixed-precision mode;
+// master weights and moments stay FP32 in both runs, as they do in
+// storage) — and returns the worst absolute weight divergence after
+// `steps` steps.
+func MixedPrecisionDrift(kind optim.Kind, hp optim.Hyper, n, steps int, seed int64) (float64, error) {
+	if n <= 0 || steps <= 0 {
+		return 0, fmt.Errorf("core: MixedPrecisionDrift(%d, %d)", n, steps)
+	}
+	exact := make([]float32, n)
+	quant := make([]float32, n)
+	optExact := optim.New(kind, hp)
+	optQuant := optim.New(kind, hp)
+	gq := make([]float32, n)
+	for step := 0; step < steps; step++ {
+		g := trace.Gradients(seed+int64(step), n)
+		optExact.Step(exact, g)
+		fp16.RoundSlice(gq, g)
+		optQuant.Step(quant, gq)
+	}
+	var worst float64
+	for i := range exact {
+		if d := math.Abs(float64(exact[i] - quant[i])); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/sim"
+)
+
+// GPUResident is the no-offload reference: weights, gradients and
+// optimizer state all live in GPU memory and the update is a single
+// HBM-bandwidth-bound kernel. It is the fastest design whenever it fits —
+// the reproduction's point is the crossover once state exceeds device
+// memory. Evaluated analytically (no event simulation needed: a single
+// device-local streaming kernel).
+type GPUResident struct {
+	cfg Config
+}
+
+// NewGPUResident builds the reference for a configuration.
+func NewGPUResident(cfg Config) *GPUResident { return &GPUResident{cfg: cfg} }
+
+// Name implements System.
+func (s *GPUResident) Name() string { return "gpu-resident" }
+
+// TrainingBytesPerParam is the standard mixed-precision training footprint
+// accounting (Rajbhandari et al.): FP16 weights (2) + FP16 gradients (2)
+// + FP32 master weights, momentum and variance (12) = 16 bytes/param for
+// Adam-family optimizers; fewer state words shrink it accordingly.
+func (s *GPUResident) TrainingBytesPerParam() int64 {
+	spec := s.cfg.Spec()
+	return int64(spec.GradBytes+spec.WeightOutBytes) + int64(spec.ResidentBytes())
+}
+
+// Run implements System.
+func (s *GPUResident) Run() (*Report, error) {
+	cfg := s.cfg
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	params := cfg.Model.Params
+	spec := cfg.Spec()
+	kernel := kernelFor(cfg)
+
+	r := &Report{
+		System:     s.Name(),
+		Model:      cfg.Model.Name,
+		Optimizer:  cfg.Optimizer.String(),
+		Precision:  cfg.Precision.String(),
+		Params:     params,
+		TotalUnits: cfg.TotalUnits(),
+	}
+
+	// Feasibility: training footprint plus a 20% activation/workspace
+	// allowance must fit device memory.
+	needBytes := float64(s.TrainingBytesPerParam()*params) * 1.2
+	haveBytes := cfg.GPU.MemoryGB * 1e9
+	if needBytes > haveBytes {
+		r.Feasible = false
+		r.Notes = fmt.Sprintf("needs %.1f GB, GPU has %.0f GB", needBytes/1e9, cfg.GPU.MemoryGB)
+		return r, nil
+	}
+	r.Feasible = true
+
+	// The fused update kernel streams state once in, once out, reads
+	// gradients, writes working weights — over the parameters this step
+	// touches (sparse models touch a small fraction).
+	touched := float64(params) * cfg.Model.UpdateFraction()
+	hbmBytes := touched * float64(2*spec.ResidentBytes()+spec.GradBytes+spec.WeightOutBytes)
+	flops := touched * float64(kernel.FlopsPerElem)
+	r.OptStepTime = cfg.GPU.KernelTime(flops, hbmBytes)
+	r.SimTime = r.OptStepTime
+	r.SimUnits = r.TotalUnits
+	r.HBMBytes = int64(hbmBytes)
+	r.WAF = 1
+
+	evalEnergy(r, energy.Activity{
+		HBMBytes: hbmBytes,
+		GPUOps:   flops,
+	})
+	cfg.endToEnd(r)
+	// Sanity: the reference never reports a zero step.
+	if r.OptStepTime <= 0 {
+		r.OptStepTime = sim.Time(1)
+	}
+	return r, nil
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/host"
+	"repro/internal/layout"
+	"repro/internal/optim"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// HostOffload is the ZeRO-Infinity-style baseline: optimizer state lives on
+// the SSD, but every step the full resident state is read out over the
+// channel buses and PCIe, updated by the GPU (a trivially memory-bound
+// kernel), and written back. Gradients are already on the GPU, so the
+// external traffic per parameter is twice the resident footprint.
+type HostOffload struct {
+	cfg Config
+}
+
+// NewHostOffload builds the baseline for a configuration.
+func NewHostOffload(cfg Config) *HostOffload { return &HostOffload{cfg: cfg} }
+
+// Name implements System.
+func (s *HostOffload) Name() string { return "hostoffload" }
+
+// Run implements System.
+func (s *HostOffload) Run() (*Report, error) {
+	cfg := s.cfg
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	dev := ssd.NewDevice(eng, cfg.SSD)
+	geo := dev.Geometry()
+	link := host.NewLink(eng, cfg.Link)
+	gpu := host.NewGPU(eng, cfg.GPU)
+
+	simUnits := cfg.SimUnits()
+	comps := cfg.Comps()
+	// State placement uses the same layout machinery; the baseline is
+	// insensitive to it (all pages travel anyway) but keeping it identical
+	// makes comparisons apples-to-apples.
+	lay, err := layout.New(geo, comps, simUnits, cfg.Layout)
+	if err != nil {
+		return nil, err
+	}
+	if lay.LogicalPages() > dev.FTL().LogicalPages() {
+		return nil, fmt.Errorf("core: window exceeds device capacity — lower MaxSimUnits")
+	}
+	dev.SetPlaneMapper(lay.PlaneMapper())
+	for lpa := int64(0); lpa < lay.LogicalPages(); lpa++ {
+		dev.Preload(lpa)
+	}
+
+	elems := cfg.ElemsPerPage()
+	residentB := cfg.ResidentBytesPerUnit()
+	gradB := cfg.GradBytesPerUnit()
+	kernel := optim.KernelFor(cfg.Optimizer).FlopsPerElem
+	pageSize := int64(geo.PageSize)
+
+	// GPU work batches several units per kernel launch, as a real fused
+	// optimizer kernel would.
+	unitsPerBatch := cfg.TransferChunkBytes / residentB
+	if unitsPerBatch < 1 {
+		unitsPerBatch = 1
+	}
+
+	// Layer-wise overlap: the GPU kernel for a batch needs that batch's
+	// gradients, which the backward pass produces over time. (State reads
+	// from the SSD are gradient-independent and overlap freely.)
+	nAvail := (simUnits + unitsPerBatch - 1) / unitsPerBatch
+	avail := gradSchedule(cfg, nAvail)
+	gradReady := make([]*future, nAvail)
+	for k := range gradReady {
+		f := &future{}
+		gradReady[k] = f
+		eng.Schedule(avail[k], f.resolve)
+	}
+
+	var endTime sim.Time
+	finished := false
+	var completed int64
+	unitDone := func() {
+		completed++
+		if completed == simUnits {
+			dev.Drain(func() {
+				endTime = eng.Now()
+				finished = true
+			})
+		}
+	}
+
+	// Admission window: ~4 units in flight per plane-slot a unit occupies,
+	// so planes stay pipelined regardless of how many pages a unit has
+	// (SGD's single-page units need a 3× deeper window than Adam's).
+	inflightCap := int64(4 * geo.Planes() / comps)
+	if min := int64(4 * geo.Dies()); inflightCap < min {
+		inflightCap = min
+	}
+	var next int64
+	var launch func()
+
+	// Batch accumulator: units whose reads finished wait here for a PCIe +
+	// GPU + PCIe round trip, then write back.
+	var batch []int64
+	flushBatch := func() {
+		if len(batch) == 0 {
+			return
+		}
+		ids := batch
+		batch = nil
+		n := int64(len(ids))
+		// HBM traffic: state read+written, gradient read, weights written.
+		hbmBytes := float64(n * (2*residentB + gradB + cfg.WeightOutBytesPerUnit()))
+		flops := float64(n) * float64(elems) * float64(kernel)
+		newest := ids[0]
+		for _, u := range ids {
+			if u > newest {
+				newest = u
+			}
+		}
+		grads := gradReady[newest/unitsPerBatch]
+		sim.Chain(nil,
+			func(nx func()) { link.FromDevice(n*residentB, nx) },
+			func(nx func()) { grads.then(nx) },
+			func(nx func()) { gpu.Run(flops, hbmBytes, nx) },
+			func(nx func()) { link.ToDevice(n*residentB, nx) },
+			func(nx func()) {
+				for _, u := range ids {
+					c := sim.NewCounter(comps, func() {
+						unitDone()
+						launch()
+					})
+					for comp := 0; comp < comps; comp++ {
+						dev.Write(lay.LPA(u, comp), c.Done)
+					}
+				}
+				nx()
+			},
+		)
+	}
+
+	var readsArrived int64
+	startUnit := func(u int64) {
+		c := sim.NewCounter(comps, func() {
+			batch = append(batch, u)
+			readsArrived++
+			// Flush full batches; also flush when no reads remain
+			// outstanding — with a small admission window the batch may
+			// never fill (window < batch size), and at the tail no further
+			// arrivals can complete it.
+			if int64(len(batch)) >= unitsPerBatch || readsArrived == next {
+				flushBatch()
+			}
+		})
+		for comp := 0; comp < comps; comp++ {
+			dev.Read(lay.LPA(u, comp), c.Done)
+		}
+	}
+	launch = func() {
+		for next < simUnits && next-completed < inflightCap {
+			u := next
+			next++
+			startUnit(u)
+		}
+	}
+	launch()
+	eng.Run()
+	if !finished {
+		return nil, fmt.Errorf("core: hostoffload simulation wedged at %v (%d/%d units)",
+			eng.Now(), completed, simUnits)
+	}
+
+	scale := cfg.ScaleFactor()
+	counts := dev.Counts()
+	totalUnits := cfg.TouchedUnits()
+	r := &Report{
+		System:           s.Name(),
+		Model:            cfg.Model.Name,
+		Optimizer:        cfg.Optimizer.String(),
+		Precision:        cfg.Precision.String(),
+		Params:           cfg.Model.Params,
+		TotalUnits:       totalUnits,
+		SimUnits:         simUnits,
+		SimTime:          endTime,
+		OptStepTime:      sim.Time(float64(endTime) * scale),
+		PCIeBytes:        2 * residentB * totalUnits,
+		BusBytes:         int64(float64(counts.BytesIn+counts.BytesOut) * scale),
+		NANDReadBytes:    int64(float64(counts.Reads) * float64(pageSize) * scale),
+		NANDProgramBytes: int64(float64(counts.Programs) * float64(pageSize) * scale),
+		DRAMBytes:        2 * residentB * totalUnits, // controller DRAM staging
+		HBMBytes:         (2*residentB + gradB + cfg.WeightOutBytesPerUnit()) * totalUnits,
+		WAF:              dev.Stats().WAF,
+		Feasible:         true,
+	}
+	r.LinkUtil = link.Utilization()
+	r.BusUtil = meanBusUtil(dev)
+	r.GPUUtil = gpu.Utilization()
+	evalEnergy(r, energy.Activity{
+		NANDReadBytes:    float64(r.NANDReadBytes),
+		NANDProgramBytes: float64(r.NANDProgramBytes),
+		NANDEraseBytes:   float64(counts.Erases) * float64(cfg.SSD.Nand.BlockBytes()) * scale,
+		BusBytes:         float64(r.BusBytes),
+		PCIeBytes:        float64(r.PCIeBytes),
+		DRAMBytes:        float64(r.DRAMBytes),
+		HBMBytes:         float64(r.HBMBytes),
+		GPUOps:           float64(totalUnits) * float64(elems) * float64(kernel),
+	})
+	cfg.endToEnd(r)
+	return r, nil
+}

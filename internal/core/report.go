@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Report is the outcome of running one system on one configuration. All
+// traffic and energy figures are extrapolated to the full model (one
+// optimizer step); Sim* fields record the raw simulation window.
+type Report struct {
+	System    string
+	Model     string
+	Optimizer string
+	Precision string
+	Params    int64
+
+	TotalUnits int64
+	SimUnits   int64
+	SimTime    sim.Time // simulated window wall time
+
+	// OptStepTime is the full-model optimizer step latency.
+	OptStepTime sim.Time
+
+	// Per-step full-model traffic.
+	PCIeBytes        int64
+	BusBytes         int64
+	NANDReadBytes    int64
+	NANDProgramBytes int64
+	DRAMBytes        int64
+	HBMBytes         int64
+
+	// Energy per full-model step.
+	Energy energy.Breakdown
+
+	// WAF observed in the simulation window.
+	WAF float64
+
+	// Mean busy fractions over the simulation window — which interface a
+	// system is bound by shows up here as a utilisation near 1.
+	LinkUtil float64 // busier PCIe direction
+	BusUtil  float64 // mean channel-bus utilisation
+	ODPUtil  float64 // mean on-die compute utilisation (OptimStore only)
+	GPUUtil  float64 // update-kernel GPU utilisation (offload only)
+
+	// Feasible is false when the system cannot run this point at all
+	// (GPU-resident with state exceeding device memory).
+	Feasible bool
+	Notes    string
+
+	// End-to-end training step.
+	FwdBwdTime   sim.Time
+	StepTime     sim.Time
+	TokensPerSec float64
+}
+
+// EnergyPerParamPJ returns the per-parameter step energy in picojoules.
+func (r *Report) EnergyPerParamPJ(params int64) float64 {
+	if params == 0 {
+		return 0
+	}
+	return r.Energy.Total() / float64(params) * 1e12
+}
+
+// Speedup returns how much faster this report's optimizer step is than
+// other's.
+func (r *Report) Speedup(other *Report) float64 {
+	if r.OptStepTime == 0 {
+		return 0
+	}
+	return float64(other.OptStepTime) / float64(r.OptStepTime)
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	if !r.Feasible {
+		return fmt.Sprintf("%-12s %-10s %-8s infeasible (%s)", r.System, r.Model, r.Optimizer, r.Notes)
+	}
+	return fmt.Sprintf("%-12s %-10s %-8s opt-step=%v step=%v tok/s=%.1f",
+		r.System, r.Model, r.Optimizer, r.OptStepTime, r.StepTime, r.TokensPerSec)
+}
+
+// ReportTable renders a set of reports as one table.
+func ReportTable(title string, reports []*Report) *stats.Table {
+	t := stats.NewTable(title,
+		"system", "model", "optimizer", "opt-step-ms", "step-ms", "tokens/s",
+		"PCIe-GB", "bus-GB", "nand-prog-GB", "energy-J", "pJ/param")
+	for _, r := range reports {
+		if !r.Feasible {
+			t.AddRow(r.System, r.Model, r.Optimizer, "-", "-", "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		t.AddRow(r.System, r.Model, r.Optimizer,
+			r.OptStepTime.Millis(), r.StepTime.Millis(), r.TokensPerSec,
+			float64(r.PCIeBytes)/1e9, float64(r.BusBytes)/1e9,
+			float64(r.NANDProgramBytes)/1e9, r.Energy.Total(),
+			r.EnergyPerParamPJ(r.Params))
+	}
+	return t
+}
+
+// EnergyTable renders the energy breakdown of several reports.
+func EnergyTable(title string, reports []*Report) *stats.Table {
+	t := stats.NewTable(title,
+		"system", "nand-read-J", "nand-prog-J", "erase-J", "bus-J", "pcie-J",
+		"dram-J", "hbm-J", "compute-J", "total-J")
+	for _, r := range reports {
+		if !r.Feasible {
+			continue
+		}
+		e := r.Energy
+		t.AddRow(r.System, e.NANDRead, e.NANDProgram, e.NANDErase, e.Bus,
+			e.PCIe, e.DRAM, e.HBM, e.Compute, e.Total())
+	}
+	return t
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"repro/internal/optim"
+	"repro/internal/sim"
+)
+
+// Roofline is the analytic lower bound of one optimizer step for each
+// system: the slowest of the interfaces the step must cross. The
+// discrete-event simulation can only add queueing and dependency stalls on
+// top, so `floor ≤ simulated ≤ k·floor` (small k) is the package's
+// model-sanity invariant — a simulated time below the floor means the
+// simulator is dropping work; far above it means an accidental
+// serialization.
+type Roofline struct {
+	PCIe  sim.Time // external link occupancy (busier direction)
+	Bus   sim.Time // aggregate channel-bus occupancy
+	Media sim.Time // plane-level read+program occupancy
+	ODP   sim.Time // on-die compute occupancy (OptimStore only)
+}
+
+// Floor returns the binding constraint.
+func (r Roofline) Floor() sim.Time {
+	f := r.PCIe
+	for _, t := range []sim.Time{r.Bus, r.Media, r.ODP} {
+		if t > f {
+			f = t
+		}
+	}
+	return f
+}
+
+// OptimStoreRoofline computes the analytic bound for the in-storage system.
+func OptimStoreRoofline(cfg Config) Roofline {
+	units := float64(cfg.TouchedUnits())
+	gradB := float64(cfg.GradBytesPerUnit())
+	woutB := float64(cfg.WeightOutBytesPerUnit())
+	comps := float64(cfg.Comps())
+	planes := float64(cfg.SSD.Geometry().Planes())
+	dies := float64(cfg.SSD.Geometry().Dies())
+	kernel := optim.KernelFor(cfg.Optimizer)
+	passes := float64(kernel.ReadPasses)
+
+	var r Roofline
+	// PCIe: gradients in, weights out — full duplex, take the max.
+	in := units * gradB / (cfg.Link.EffectiveGBps()) // bytes/GBps = ns
+	out := units * woutB / (cfg.Link.EffectiveGBps())
+	r.PCIe = sim.Time(maxf(in, out))
+	// Channel buses carry gradients in and weights out, aggregate.
+	busBps := cfg.SSD.ChannelMBps() * 1e6
+	r.Bus = sim.Time(units * (gradB + woutB) / busBps * 1e9)
+	// Media: each unit's pages are read (per pass) and programmed once,
+	// spread across all planes. Reads and programs of one page share its
+	// plane, so their times add.
+	perPlanePages := units * comps / planes
+	tR := float64(cfg.SSD.Nand.ReadLatency)
+	tP := float64(cfg.SSD.Nand.ProgramLatency)
+	r.Media = sim.Time(perPlanePages * (passes*tR + tP))
+	// ODP compute, spread across dies.
+	elems := float64(cfg.ElemsPerPage())
+	r.ODP = sim.Time(units / dies * float64(cfg.ODP.ComputeTime(int(elems), kernel.FlopsPerElem)))
+	return r
+}
+
+// HostOffloadRoofline computes the analytic bound for the baseline.
+func HostOffloadRoofline(cfg Config) Roofline {
+	units := float64(cfg.TouchedUnits())
+	residentB := float64(cfg.ResidentBytesPerUnit())
+	comps := float64(cfg.Comps())
+	planes := float64(cfg.SSD.Geometry().Planes())
+
+	var r Roofline
+	// Resident state crosses PCIe both ways (full duplex: per direction).
+	r.PCIe = sim.Time(units * residentB / cfg.Link.EffectiveGBps())
+	// And the channel buses both ways (half duplex: sum).
+	busBps := cfg.SSD.ChannelMBps() * 1e6
+	r.Bus = sim.Time(units * 2 * residentB / busBps * 1e9)
+	// Media: read once, program once per page.
+	perPlanePages := units * comps / planes
+	r.Media = sim.Time(perPlanePages *
+		float64(cfg.SSD.Nand.ReadLatency+cfg.SSD.Nand.ProgramLatency))
+	return r
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

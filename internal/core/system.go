@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/optim"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// System runs one experiment configuration and produces a Report.
+type System interface {
+	Name() string
+	Run() (*Report, error)
+}
+
+// NewSystem constructs a system by name: "optimstore", "hostoffload",
+// "ctrlisp" or "gpuresident".
+func NewSystem(name string, cfg Config) (System, error) {
+	switch name {
+	case "optimstore":
+		return NewOptimStore(cfg), nil
+	case "hostoffload":
+		return NewHostOffload(cfg), nil
+	case "ctrlisp":
+		return NewCtrlISP(cfg), nil
+	case "gpuresident":
+		return NewGPUResident(cfg), nil
+	default:
+		return nil, fmt.Errorf("core: unknown system %q", name)
+	}
+}
+
+// SystemNames lists the systems in presentation order.
+func SystemNames() []string {
+	return []string{"gpuresident", "hostoffload", "ctrlisp", "optimstore"}
+}
+
+// future is a one-shot completion that callbacks can wait on — used to let
+// many units wait on one batched PCIe transfer.
+type future struct {
+	done    bool
+	waiters []func()
+}
+
+func (f *future) resolve() {
+	if f.done {
+		return
+	}
+	f.done = true
+	ws := f.waiters
+	f.waiters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+func (f *future) then(fn func()) {
+	if f.done {
+		fn()
+		return
+	}
+	f.waiters = append(f.waiters, fn)
+}
+
+// outBatcher coalesces per-unit output bytes into chunked link transfers.
+// Every accumulated chunk (and the final remainder) is sent with the
+// provided transfer function; onAll fires when every byte has been sent.
+type outBatcher struct {
+	chunk    int64
+	pending  int64
+	inFlight int
+	closed   bool
+	transfer func(n int64, done func())
+	onAll    func()
+}
+
+func newOutBatcher(chunk int64, transfer func(int64, func()), onAll func()) *outBatcher {
+	return &outBatcher{chunk: chunk, transfer: transfer, onAll: onAll}
+}
+
+// add queues n output bytes, flushing full chunks.
+func (b *outBatcher) add(n int64) {
+	b.pending += n
+	for b.pending >= b.chunk {
+		b.pending -= b.chunk
+		b.send(b.chunk)
+	}
+}
+
+// close flushes the remainder; onAll fires once outstanding sends finish.
+func (b *outBatcher) close() {
+	b.closed = true
+	if b.pending > 0 {
+		n := b.pending
+		b.pending = 0
+		b.send(n)
+	} else {
+		b.maybeDone()
+	}
+}
+
+func (b *outBatcher) send(n int64) {
+	b.inFlight++
+	b.transfer(n, func() {
+		b.inFlight--
+		b.maybeDone()
+	})
+}
+
+func (b *outBatcher) maybeDone() {
+	if b.closed && b.inFlight == 0 && b.pending == 0 && b.onAll != nil {
+		cb := b.onAll
+		b.onAll = nil
+		cb()
+	}
+}
+
+// gradSchedule returns the simulated-window availability time of each
+// gradient chunk under layer-wise overlap: the forward pass completes,
+// then the backward pass emits gradients chunk by chunk. Times are scaled
+// into the simulation window (every stage is linear in units, so the
+// window pipeline is an exact miniature). Without LayerwiseOverlap all
+// chunks are available at time zero.
+func gradSchedule(cfg Config, nChunks int64) []sim.Time {
+	avail := make([]sim.Time, nChunks)
+	if !cfg.LayerwiseOverlap {
+		return avail
+	}
+	total := float64(cfg.GPU.ComputeTime(cfg.Model.StepFlops(cfg.Batch)))
+	fwd := total / 3
+	bwd := total - fwd
+	scale := cfg.ScaleFactor()
+	for k := int64(0); k < nChunks; k++ {
+		t := (fwd + bwd*float64(k+1)/float64(nChunks)) / scale
+		avail[k] = sim.Time(t)
+	}
+	return avail
+}
+
+// endToEnd fills the end-to-end fields of a report: forward+backward
+// compute on the GPU, optimizer step partially hidden under it.
+func (c Config) endToEnd(r *Report) {
+	fwdBwd := c.GPU.ComputeTime(c.Model.StepFlops(c.Batch))
+	r.FwdBwdTime = fwdBwd
+	if c.LayerwiseOverlap {
+		// The simulation already spans fwd+bwd (gradient availability) plus
+		// the optimizer pipeline: OptStepTime holds the full span here.
+		r.StepTime = r.OptStepTime
+		if r.StepTime < fwdBwd {
+			r.StepTime = fwdBwd
+		}
+		r.OptStepTime = r.StepTime - fwdBwd // exposed optimizer cost
+	} else {
+		hidden := sim.Time(float64(fwdBwd) * c.OverlapFraction)
+		exposed := r.OptStepTime - hidden
+		if exposed < 0 {
+			exposed = 0
+		}
+		r.StepTime = fwdBwd + exposed
+	}
+	if r.StepTime > 0 {
+		r.TokensPerSec = float64(c.Model.BatchTokens(c.Batch)) /
+			r.StepTime.Seconds()
+	}
+}
+
+// evalEnergy converts a full-model activity into the report's breakdown.
+func evalEnergy(r *Report, a energy.Activity) {
+	r.Energy = energy.DefaultCosts().Evaluate(a)
+}
+
+// meanBusUtil averages the channel-bus utilisation across a device.
+func meanBusUtil(dev *ssd.Device) float64 {
+	cfg := dev.Config()
+	var total float64
+	for ch := 0; ch < cfg.Channels; ch++ {
+		total += dev.Channel(ch).BusUtilization()
+	}
+	return total / float64(cfg.Channels)
+}
+
+// kernelFor returns the ODP kernel descriptor for the configured optimizer.
+func kernelFor(cfg Config) optim.Kernel { return optim.KernelFor(cfg.Optimizer) }

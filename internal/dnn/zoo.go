@@ -1,0 +1,101 @@
+package dnn
+
+import "fmt"
+
+// Zoo returns the evaluation model set: the span from "fits on one GPU"
+// (ResNet-50, BERT) through "optimizer state must be offloaded"
+// (GPT-6.7B and up) to "state dwarfs host memory too" (GPT-175B-class).
+// Parameter counts follow the published configurations.
+func Zoo() []Model {
+	return []Model{
+		ResNet50(),
+		DLRM(),
+		BERTLarge(),
+		GPT2XL(),
+		GPT6B7(),
+		Llama7B(),
+		GPT13B(),
+		GPT30B(),
+		GPT66B(),
+		Llama70B(),
+		GPT175B(),
+	}
+}
+
+// ByName returns the zoo model with the given name.
+func ByName(name string) (Model, error) {
+	for _, m := range Zoo() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("dnn: unknown model %q", name)
+}
+
+// ResNet50 is the classic CNN reference (25.6M params, ~4.1 GFLOPs fwd).
+func ResNet50() Model {
+	return Model{Name: "ResNet-50", Arch: CNN, Params: 25_600_000, Layers: 50,
+		FlopsPerSample: 4.1e9}
+}
+
+// DLRM is a recommendation model in the published DLRM configuration
+// family: 24B parameters dominated by embedding tables, of which a batch
+// touches roughly 0.1% per step, with a small (~1 GFLOP/sample) MLP.
+func DLRM() Model {
+	return Model{Name: "DLRM-24B", Arch: Recommender, Params: 24_000_000_000,
+		Layers: 8, FlopsPerSample: 1e9, SparseFraction: 0.001}
+}
+
+// BERTLarge is BERT-Large: 340M params, 24 layers, hidden 1024.
+func BERTLarge() Model {
+	return Model{Name: "BERT-Large", Arch: Transformer, Params: 340_000_000,
+		Layers: 24, Hidden: 1024, SeqLen: 512}
+}
+
+// GPT2XL is GPT-2 XL: 1.5B params, 48 layers, hidden 1600.
+func GPT2XL() Model {
+	return Model{Name: "GPT-2-XL", Arch: Transformer, Params: 1_500_000_000,
+		Layers: 48, Hidden: 1600, SeqLen: 1024}
+}
+
+// GPT6B7 is the GPT-3 6.7B configuration: 32 layers, hidden 4096.
+func GPT6B7() Model {
+	return Model{Name: "GPT-6.7B", Arch: Transformer, Params: 6_700_000_000,
+		Layers: 32, Hidden: 4096, SeqLen: 2048}
+}
+
+// Llama7B is the LLaMA-7B configuration: 32 layers, hidden 4096.
+func Llama7B() Model {
+	return Model{Name: "LLaMA-7B", Arch: Transformer, Params: 6_740_000_000,
+		Layers: 32, Hidden: 4096, SeqLen: 2048}
+}
+
+// Llama70B is the LLaMA-2-70B configuration: 80 layers, hidden 8192.
+func Llama70B() Model {
+	return Model{Name: "LLaMA-70B", Arch: Transformer, Params: 70_000_000_000,
+		Layers: 80, Hidden: 8192, SeqLen: 4096}
+}
+
+// GPT13B is the GPT-3 13B configuration: 40 layers, hidden 5140.
+func GPT13B() Model {
+	return Model{Name: "GPT-13B", Arch: Transformer, Params: 13_000_000_000,
+		Layers: 40, Hidden: 5140, SeqLen: 2048}
+}
+
+// GPT30B is a 30B Megatron-style configuration: 48 layers, hidden 7168.
+func GPT30B() Model {
+	return Model{Name: "GPT-30B", Arch: Transformer, Params: 30_000_000_000,
+		Layers: 48, Hidden: 7168, SeqLen: 2048}
+}
+
+// GPT66B is a 66B OPT-style configuration: 64 layers, hidden 9216.
+func GPT66B() Model {
+	return Model{Name: "GPT-66B", Arch: Transformer, Params: 66_000_000_000,
+		Layers: 64, Hidden: 9216, SeqLen: 2048}
+}
+
+// GPT175B is the GPT-3 175B configuration: 96 layers, hidden 12288.
+func GPT175B() Model {
+	return Model{Name: "GPT-175B", Arch: Transformer, Params: 175_000_000_000,
+		Layers: 96, Hidden: 12288, SeqLen: 2048}
+}

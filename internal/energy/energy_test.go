@@ -1,0 +1,89 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultCostsValid(t *testing.T) {
+	if err := DefaultCosts().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultCosts()
+	// Structural relations the analysis depends on:
+	// programming is far costlier than reading,
+	if c.NANDProgramPJPerByte < 5*c.NANDReadPJPerByte {
+		t.Fatal("program should dominate read energy")
+	}
+	// moving a byte off-device costs more than moving it on a channel bus,
+	if c.PCIePJPerByte <= c.BusPJPerByte {
+		t.Fatal("PCIe should cost more than the internal bus")
+	}
+	// and CPU scalar ops are the costliest compute.
+	if c.CPUOpPJ <= c.GPUOpPJ || c.CPUOpPJ <= c.ODPOpPJ {
+		t.Fatal("CPU op should be the costliest")
+	}
+}
+
+func TestValidateRejectsZero(t *testing.T) {
+	c := DefaultCosts()
+	c.HBMPJPerByte = 0
+	if c.Validate() == nil {
+		t.Fatal("zero constant accepted")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	c := DefaultCosts()
+	b := c.Evaluate(Activity{
+		NANDReadBytes: 1e12, // 1 TB at 15 pJ/B = 15 J
+		ODPOps:        1e12, // at 18 pJ = 18 J
+	})
+	if math.Abs(b.NANDRead-15) > 1e-9 {
+		t.Fatalf("read energy = %v, want 15 J", b.NANDRead)
+	}
+	if math.Abs(b.Compute-18) > 1e-9 {
+		t.Fatalf("compute energy = %v, want 18 J", b.Compute)
+	}
+	if b.NANDProgram != 0 || b.PCIe != 0 {
+		t.Fatal("untouched components should be zero")
+	}
+	if math.Abs(b.Total()-33) > 1e-9 {
+		t.Fatalf("total = %v", b.Total())
+	}
+}
+
+func TestBreakdownAddScale(t *testing.T) {
+	a := Breakdown{NANDRead: 1, Bus: 2, Compute: 3}
+	b := Breakdown{NANDRead: 10, PCIe: 5}
+	sum := a.Add(b)
+	if sum.NANDRead != 11 || sum.Bus != 2 || sum.PCIe != 5 || sum.Compute != 3 {
+		t.Fatalf("Add = %+v", sum)
+	}
+	sc := a.Scale(2)
+	if sc.NANDRead != 2 || sc.Bus != 4 || sc.Compute != 6 {
+		t.Fatalf("Scale = %+v", sc)
+	}
+	if sc.Total() != 12 {
+		t.Fatalf("Total = %v", sc.Total())
+	}
+}
+
+func TestEvaluateAllComponents(t *testing.T) {
+	c := DefaultCosts()
+	a := Activity{
+		NANDReadBytes: 1, NANDProgramBytes: 1, NANDEraseBytes: 1,
+		BusBytes: 1, PCIeBytes: 1, DRAMBytes: 1, HBMBytes: 1,
+		ODPOps: 1, GPUOps: 1, CPUOps: 1,
+	}
+	b := c.Evaluate(a)
+	for name, v := range map[string]float64{
+		"NANDRead": b.NANDRead, "NANDProgram": b.NANDProgram,
+		"NANDErase": b.NANDErase, "Bus": b.Bus, "PCIe": b.PCIe,
+		"DRAM": b.DRAM, "HBM": b.HBM, "Compute": b.Compute,
+	} {
+		if v <= 0 {
+			t.Errorf("component %s zero with unit activity", name)
+		}
+	}
+}

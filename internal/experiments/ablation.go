@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/layout"
+	"repro/internal/nand"
+	"repro/internal/optim"
+	"repro/internal/ssd"
+	"repro/internal/stats"
+)
+
+// runF7 regenerates the data-layout ablation: the OptimStore engine on
+// each placement strategy.
+func runF7(opts Options) (*Result, error) {
+	t := stats.NewTable("F7: layout ablation (GPT-13B, Adam, OptimStore engine)",
+		"layout", "colocated-frac", "optimstore-s", "bus-GB", "slowdown-vs-colocated")
+	fig := stats.NewFigure("F7: layout ablation", "strategy index", "opt-step seconds")
+	s := fig.AddSeries("optimstore")
+	var baseline float64
+	for i, strat := range layout.Strategies() {
+		cfg := baseConfig(opts, dnn.GPT13B())
+		cfg.Layout = strat
+		rs, err := runSystems(cfg, "optimstore")
+		if err != nil {
+			return nil, err
+		}
+		r := rs[0]
+		lay, err := layout.New(cfg.SSD.Geometry(), cfg.Comps(), cfg.SimUnits(), strat)
+		if err != nil {
+			return nil, err
+		}
+		sec := r.OptStepTime.Seconds()
+		if i == 0 {
+			baseline = sec
+		}
+		t.AddRow(strat.String(), lay.ColocationFraction(), sec,
+			float64(r.BusBytes)/1e9, sec/baseline)
+		s.Add(float64(i), sec)
+	}
+	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
+}
+
+// runF8 regenerates the precision ablation on OptimStore and the offload
+// baseline, including block-wise 8-bit quantized optimizer state — the
+// precision lever that shrinks resident state (and hence NAND traffic,
+// step time and wear) rather than just interface traffic.
+func runF8(opts Options) (*Result, error) {
+	t := stats.NewTable("F8: precision ablation (GPT-13B, Adam)",
+		"precision", "system", "opt-step-s", "pcie-GB", "nand-prog-GB", "energy-J", "tlc-lifetime-steps")
+	for _, prec := range []optim.Precision{optim.FP32, optim.Mixed16, optim.Q8State} {
+		cfg := baseConfig(opts, dnn.GPT13B())
+		cfg.Precision = prec
+		end, err := core.RunEndurance(cfg, nand.TLC, opts.wafSteps())
+		if err != nil {
+			return nil, err
+		}
+		rs, err := runSystems(cfg, "hostoffload", "optimstore")
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			life := "-"
+			if r.System == "optimstore" && end.Fits {
+				life = fmt.Sprintf("%.0f", end.LifetimeSteps)
+			}
+			t.AddRow(prec.String(), r.System, r.OptStepTime.Seconds(),
+				float64(r.PCIeBytes)/1e9, float64(r.NANDProgramBytes)/1e9,
+				r.Energy.Total(), life)
+		}
+	}
+	return &Result{Tables: []*stats.Table{t}}, nil
+}
+
+// runF12 regenerates the ODP silicon-cost table across lane counts.
+func runF12(Options) (*Result, error) {
+	t := stats.NewTable("F12: on-die processing unit cost model",
+		"lanes", "buffer-KiB", "area-mm2", "pct-of-70mm2-die", "static-mW", "pJ/op")
+	for _, lanes := range []int{1, 2, 4, 8, 16, 32} {
+		p := defaultODPWithLanes(lanes)
+		c := odpCost(p)
+		t.AddRow(lanes, p.BufferKB, c.AreaMM2, c.DieAreaPct, c.StaticMW, c.DynamicPJ)
+	}
+	return &Result{Tables: []*stats.Table{t}}, nil
+}
+
+// runF11 regenerates the GC/over-provisioning sensitivity: steady-state
+// write amplification and update throughput of the state region under
+// dense (sequential) and sparse (random) update streams.
+func runF11(opts Options) (*Result, error) {
+	t := stats.NewTable("F11: GC sensitivity of the state region",
+		"over-provision", "workload", "WAF", "updates/s (window)")
+	fig := stats.NewFigure("F11: WAF vs over-provisioning", "OP fraction", "WAF")
+	seqS := fig.AddSeries("dense sequential updates")
+	rndS := fig.AddSeries("sparse random updates")
+	ops := []float64{0.07, 0.125, 0.20, 0.28}
+	if opts.Quick {
+		ops = []float64{0.07, 0.28}
+	}
+	for _, op := range ops {
+		seq, seqRate, err := measureRegionWAF(op, false, opts.wafSteps())
+		if err != nil {
+			return nil, err
+		}
+		rnd, rndRate, err := measureRegionWAF(op, true, opts.wafSteps())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(op, "sequential", seq, seqRate)
+		t.AddRow(op, "random", rnd, rndRate)
+		seqS.Add(op, seq)
+		rndS.Add(op, rnd)
+	}
+	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
+}
+
+// measureRegionWAF drives a small state region through update sweeps and
+// reports steady-state WAF and update throughput.
+func measureRegionWAF(overProvision float64, random bool, steps int) (waf, updatesPerSec float64, err error) {
+	dev, eng, pages, err := newRegionDevice(overProvision)
+	if err != nil {
+		return 0, 0, err
+	}
+	order := make([]int64, pages)
+	for i := range order {
+		order[i] = int64(i)
+	}
+	if random {
+		// Deterministic shuffle (LCG) — no time-dependent seeding.
+		state := uint64(0x9E3779B97F4A7C15)
+		for i := len(order) - 1; i > 0; i-- {
+			state = state*6364136223846793005 + 1442695040888963407
+			j := int(state % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	var baseHost, baseGC uint64
+	var startTime, endTime int64
+	for s := 0; s < steps; s++ {
+		for _, lpa := range order {
+			dev.ProgramUpdate(lpa, nil)
+		}
+		ok := false
+		dev.Drain(func() { ok = true })
+		eng.Run()
+		if !ok {
+			return 0, 0, errWedged
+		}
+		if s == 0 {
+			baseHost = dev.FTL().HostProgrammed()
+			baseGC = dev.FTL().GCProgrammed()
+			startTime = int64(eng.Now())
+		}
+	}
+	endTime = int64(eng.Now())
+	host := dev.FTL().HostProgrammed() - baseHost
+	gc := dev.FTL().GCProgrammed() - baseGC
+	if host == 0 {
+		return 1, 0, nil
+	}
+	waf = float64(host+gc) / float64(host)
+	elapsed := float64(endTime-startTime) / 1e9
+	if elapsed > 0 {
+		updatesPerSec = float64(host) / elapsed
+	}
+	return waf, updatesPerSec, nil
+}
+
+// newRegionDevice builds the small preconditioned device used by the GC
+// experiments.
+func newRegionDevice(overProvision float64) (*ssd.Device, *simEngine, int64, error) {
+	cfg := regionConfig(overProvision)
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, 0, err
+	}
+	eng := newSimEngine()
+	dev := ssd.NewDevice(eng, cfg)
+	pages := dev.FTL().LogicalPages()
+	for lpa := int64(0); lpa < pages; lpa++ {
+		dev.Preload(lpa)
+	}
+	return dev, eng, pages, nil
+}

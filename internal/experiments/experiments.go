@@ -1,0 +1,153 @@
+// Package experiments regenerates every table and figure of the
+// reconstructed evaluation (see DESIGN.md §3). Each experiment is a pure
+// function from an Options struct to tables/figures, shared by the
+// cmd/optimstore CLI and the root benchmark harness so both always report
+// the same numbers.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/stats"
+)
+
+// Options tunes experiment execution.
+type Options struct {
+	// Quick shrinks simulation windows so the whole suite runs in seconds;
+	// the full setting tightens extrapolation at ~10× the runtime.
+	Quick bool
+}
+
+func (o Options) simUnits() int64 {
+	if o.Quick {
+		return 256
+	}
+	return 2048
+}
+
+func (o Options) wafSteps() int {
+	if o.Quick {
+		return 3
+	}
+	return 8
+}
+
+// Result is the output of one experiment.
+type Result struct {
+	ID      string
+	Title   string
+	Tables  []*stats.Table
+	Figures []*stats.Figure
+}
+
+// String renders every table (figures as their data tables).
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "===== %s: %s =====\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, f := range r.Figures {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+type runner struct {
+	title string
+	fn    func(Options) (*Result, error)
+}
+
+var registry = map[string]runner{
+	"T1":  {"System configuration", runT1},
+	"T2":  {"Model zoo and state footprints", runT2},
+	"F1":  {"Optimizer-step latency per system", runF1},
+	"F2":  {"Speedup vs model scale", runF2},
+	"F3":  {"Per-optimizer comparison", runF3},
+	"F4":  {"Energy breakdown", runF4},
+	"F5":  {"Internal-parallelism sensitivity", runF5},
+	"F6":  {"ODP throughput sensitivity", runF6},
+	"F7":  {"Data-layout ablation", runF7},
+	"F8":  {"Precision ablation", runF8},
+	"F9":  {"Endurance and lifetime", runF9},
+	"F10": {"End-to-end training throughput", runF10},
+	"F11": {"GC / over-provisioning sensitivity", runF11},
+	"F12": {"ODP area and power", runF12},
+	"F13": {"Sparse embedding-table updates (extension)", runF13},
+	"F14": {"Optimizer-state checkpointing (extension)", runF14},
+	"F15": {"Overlap-model ablation (extension)", runF15},
+	"F16": {"Data-parallel cluster scaling (extension)", runF16},
+	"F17": {"Read QoS under update load: program suspend (extension)", runF17},
+	"F18": {"State-region cell-mode trade-off (extension)", runF18},
+	"F19": {"GC hot/cold stream separation (extension)", runF19},
+}
+
+// IDs lists experiment identifiers in presentation order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if a[0] != b[0] {
+			return a[0] == 'T' // tables first, then figures
+		}
+		var na, nb int
+		fmt.Sscanf(a[1:], "%d", &na)
+		fmt.Sscanf(b[1:], "%d", &nb)
+		return na < nb
+	})
+	return ids
+}
+
+// Title returns an experiment's title.
+func Title(id string) string { return registry[id].title }
+
+// Run executes one experiment by ID.
+func Run(id string, opts Options) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	res, err := r.fn(opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	res.ID = id
+	res.Title = r.title
+	return res, nil
+}
+
+// baseConfig is the shared default experiment point.
+func baseConfig(opts Options, model dnn.Model) core.Config {
+	cfg := core.DefaultConfig(model)
+	cfg.MaxSimUnits = opts.simUnits()
+	return cfg
+}
+
+// runSystems runs the named systems on a config and returns their reports.
+func runSystems(cfg core.Config, names ...string) ([]*core.Report, error) {
+	if len(names) == 0 {
+		names = core.SystemNames()
+	}
+	var out []*core.Report
+	for _, n := range names {
+		sys, err := core.NewSystem(n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sys.Run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/nand"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/stats"
+)
+
+// runF13 regenerates the sparse-update extension study: embedding-table
+// (DLRM-style) training where each step touches only a fraction of the
+// parameters. Per-step traffic scales with the touched fraction for every
+// system; the qualitative difference is the GC/endurance behaviour of the
+// resulting random update stream (F11 measures that side).
+func runF13(opts Options) (*Result, error) {
+	t := stats.NewTable("F13: sparse embedding-table updates (DLRM-24B class, Adam)",
+		"update-fraction", "touched-GB/step", "offload-s", "optimstore-s", "speedup")
+	fig := stats.NewFigure("F13: step latency vs update fraction", "fraction", "opt-step seconds")
+	sOff := fig.AddSeries("hostoffload")
+	sOpt := fig.AddSeries("optimstore")
+	fractions := []float64{0.0001, 0.001, 0.01, 0.1}
+	if opts.Quick {
+		fractions = []float64{0.001, 0.1}
+	}
+	for _, frac := range fractions {
+		model := dnn.DLRM()
+		model.SparseFraction = frac
+		cfg := baseConfig(opts, model)
+		rs, err := runSystems(cfg, "hostoffload", "optimstore")
+		if err != nil {
+			return nil, err
+		}
+		off, opt := rs[0], rs[1]
+		touchedGB := float64(cfg.TouchedUnits()*cfg.ResidentBytesPerUnit()) / 1e9
+		t.AddRow(frac, touchedGB, off.OptStepTime.Seconds(), opt.OptStepTime.Seconds(),
+			opt.Speedup(off))
+		sOff.Add(frac, off.OptStepTime.Seconds())
+		sOpt.Add(frac, opt.OptStepTime.Seconds())
+	}
+	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
+}
+
+// runF14 regenerates the checkpointing extension study: snapshotting the
+// optimizer state externally vs with in-storage copyback.
+func runF14(opts Options) (*Result, error) {
+	t := stats.NewTable("F14: optimizer-state checkpointing",
+		"model", "state-GB", "host-stream-s", "in-storage-copy-s", "speedup", "2x-capacity-ok")
+	models := []dnn.Model{dnn.GPT2XL(), dnn.GPT13B()}
+	if !opts.Quick {
+		models = append(models, dnn.GPT6B7(), dnn.GPT30B())
+	}
+	for _, m := range models {
+		cfg := baseConfig(opts, m)
+		r, err := core.Checkpoint(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(m.Name, float64(r.StateBytes)/1e9, r.HostStreamTime.Seconds(),
+			r.InStorageCopyTime.Seconds(), r.Speedup, r.CapacityOK)
+	}
+	return &Result{Tables: []*stats.Table{t}}, nil
+}
+
+// runF15 regenerates the overlap-model ablation: the scalar hidden-fraction
+// formula vs the simulated layer-wise pipeline, which accounts for when
+// each layer's gradients actually exist.
+func runF15(opts Options) (*Result, error) {
+	t := stats.NewTable("F15: optimizer/backward overlap models (GPT-13B, Adam)",
+		"system", "no-overlap-s", "scalar-50%-s", "layerwise-sim-s", "exposed-opt-s")
+	for _, sys := range []string{"hostoffload", "optimstore"} {
+		none := baseConfig(opts, dnn.GPT13B())
+		none.OverlapFraction = 0
+		scalar := baseConfig(opts, dnn.GPT13B())
+		layered := baseConfig(opts, dnn.GPT13B())
+		layered.LayerwiseOverlap = true
+		var rows []float64
+		for _, cfg := range []core.Config{none, scalar, layered} {
+			rs, err := runSystems(cfg, sys)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, rs[0].StepTime.Seconds(), rs[0].OptStepTime.Seconds())
+		}
+		t.AddRow(sys, rows[0], rows[2], rows[4], rows[5])
+	}
+	return &Result{Tables: []*stats.Table{t}}, nil
+}
+
+// runF16 regenerates the data-parallel scaling extension: tokens/s and
+// scaling efficiency across worker counts, with the optimizer state
+// sharded ZeRO-style across each worker's OptimStore SSD.
+func runF16(opts Options) (*Result, error) {
+	t := stats.NewTable("F16: data-parallel scaling (GPT-13B, Adam, 25 GB/s ring)",
+		"workers", "shard-opt-s", "allreduce-s", "step-s", "tokens/s", "efficiency")
+	fig := stats.NewFigure("F16: cluster throughput", "workers", "tokens/s")
+	s := fig.AddSeries("optimstore cluster")
+	workers := []int{1, 2, 4, 8, 16}
+	if opts.Quick {
+		workers = []int{1, 4, 16}
+	}
+	for _, n := range workers {
+		cfg := baseConfig(opts, dnn.GPT13B())
+		r, err := core.RunCluster(cfg, core.DefaultCluster(n), "optimstore")
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, r.ShardOptStep.Seconds(), r.AllReduce.Seconds(),
+			r.StepTime.Seconds(), r.TokensPerSec, r.Efficiency)
+		s.Add(float64(n), r.TokensPerSec)
+	}
+	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
+}
+
+// runF17 regenerates the read-QoS extension: tail latency of foreground
+// reads (e.g. inference serving from the same drive) while the training
+// update stream hammers the planes, with and without program/erase
+// suspend. Suspend lets a 65 µs read preempt a 300 µs program instead of
+// queueing behind it.
+func runF17(opts Options) (*Result, error) {
+	t := stats.NewTable("F17: foreground-read QoS under update load",
+		"read-suspend", "read-p50-us", "read-p99-us", "updates-done", "preemptions")
+	rounds := 6
+	if opts.Quick {
+		rounds = 3
+	}
+	for _, suspend := range []bool{false, true} {
+		p50, p99, updates, preempts, err := measureReadQoS(suspend, rounds)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(suspend, p50, p99, updates, preempts)
+	}
+	return &Result{Tables: []*stats.Table{t}}, nil
+}
+
+// measureReadQoS runs a background update stream with periodic foreground
+// reads and reports the read-latency percentiles.
+func measureReadQoS(suspend bool, rounds int) (p50, p99 float64, updates, preempts uint64, err error) {
+	cfg := regionConfig(0.2)
+	cfg.Nand.ReadSuspend = suspend
+	cfg.Nand.ResumeOverhead = 20 * sim.Microsecond
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	eng := newSimEngine()
+	dev := ssd.NewDevice(eng, cfg)
+	pages := dev.FTL().LogicalPages()
+	for lpa := int64(0); lpa < pages; lpa++ {
+		dev.Preload(lpa)
+	}
+
+	// Background: `rounds` full update sweeps, windowed.
+	total := pages * int64(rounds)
+	var issued, done int64
+	var pump func()
+	pump = func() {
+		for issued-done < 64 && issued < total {
+			lpa := issued % pages
+			issued++
+			dev.ProgramUpdate(lpa, func() {
+				done++
+				pump()
+			})
+		}
+	}
+	pump()
+
+	// Foreground: one random-ish read every 200 µs.
+	lat := newHist()
+	var reader func(i int64)
+	reader = func(i int64) {
+		if done >= total {
+			return
+		}
+		lpa := (i * 7919) % pages
+		start := eng.Now()
+		dev.Read(lpa, func() {
+			lat.Add((eng.Now() - start).Micros())
+		})
+		eng.Schedule(200*sim.Microsecond, func() { reader(i + 1) })
+	}
+	eng.Schedule(0, func() { reader(0) })
+
+	wedged := true
+	dev.Drain(func() { wedged = false })
+	eng.Run()
+	if wedged {
+		return 0, 0, 0, 0, errWedged
+	}
+	var preemptTotal uint64
+	for ch := 0; ch < cfg.Channels; ch++ {
+		for _, die := range dev.Channel(ch).Dies() {
+			preemptTotal += die.Preemptions()
+		}
+	}
+	return lat.Percentile(50), lat.Percentile(99), dev.Stats().UpdateWrites, preemptTotal, nil
+}
+
+// runF18 regenerates the cell-mode trade study: operating the state region
+// in SLC/MLC/TLC/QLC mode changes program latency (step time), endurance
+// (lifetime) and capacity simultaneously — the three-way trade-off behind
+// the SLC-region recommendation of F9.
+func runF18(opts Options) (*Result, error) {
+	t := stats.NewTable("F18: state-region cell mode (GPT-13B, Adam, OptimStore)",
+		"cell", "tPROG/page", "opt-step-s", "capacity-TB", "lifetime-steps", "lifetime-days")
+	fig := stats.NewFigure("F18: step time vs cell mode", "bits per cell", "opt-step seconds")
+	s := fig.AddSeries("optimstore")
+	cells := []nand.CellType{nand.SLC, nand.MLC, nand.TLC, nand.QLC}
+	for i, cell := range cells {
+		cfg := baseConfig(opts, dnn.GPT13B())
+		n := nand.ParamsFor(cell)
+		n.BlocksPerPlane = cfg.SSD.Nand.BlocksPerPlane // keep the sim window small
+		cfg.SSD.Nand = n
+		rs, err := runSystems(cfg, "optimstore")
+		if err != nil {
+			return nil, err
+		}
+		end, err := core.RunEndurance(cfg, cell, opts.wafSteps())
+		if err != nil {
+			return nil, err
+		}
+		if end.Fits {
+			t.AddRow(cell.String(), n.ProgramLatency.String(), rs[0].OptStepTime.Seconds(),
+				float64(end.DeviceBytes)/1e12, end.LifetimeSteps, end.LifetimeDays)
+		} else {
+			t.AddRow(cell.String(), n.ProgramLatency.String(), rs[0].OptStepTime.Seconds(),
+				float64(end.DeviceBytes)/1e12, "-", "-")
+		}
+		s.Add(float64(i+1), rs[0].OptStepTime.Seconds())
+	}
+	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
+}
+
+// runF19 regenerates the GC stream-separation ablation: write amplification
+// of a skewed update stream (a hot subset rewritten constantly over a cold
+// majority) with GC relocations directed to their own blocks vs mixed into
+// the update stream's blocks.
+func runF19(opts Options) (*Result, error) {
+	t := stats.NewTable("F19: GC hot/cold stream separation",
+		"separation", "WAF", "gc-relocations", "updates/s (window)")
+	rounds := 10
+	if opts.Quick {
+		rounds = 5
+	}
+	for _, sep := range []bool{false, true} {
+		waf, relocs, rate, err := measureSkewedWAF(sep, rounds)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(sep, waf, relocs, rate)
+	}
+	return &Result{Tables: []*stats.Table{t}}, nil
+}
+
+// measureSkewedWAF drives a hot/cold skewed update stream: 25% of the
+// pages receive 90% of the updates.
+func measureSkewedWAF(separation bool, rounds int) (waf float64, relocs uint64, rate float64, err error) {
+	cfg := regionConfig(0.125)
+	cfg.HotColdSeparation = separation
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, 0, err
+	}
+	eng := newSimEngine()
+	dev := ssd.NewDevice(eng, cfg)
+	pages := dev.FTL().LogicalPages()
+	// Precondition in shuffled order so hot and cold pages start physically
+	// interleaved, as on an aged drive — the state stream separation has to
+	// untangle.
+	order := make([]int64, pages)
+	for i := range order {
+		order[i] = int64(i)
+	}
+	shuf := uint64(0x2545F4914F6CDD1D)
+	for i := len(order) - 1; i > 0; i-- {
+		shuf = shuf*6364136223846793005 + 1442695040888963407
+		j := int((shuf >> 33) % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	for _, lpa := range order {
+		dev.Preload(lpa)
+	}
+	hot := pages / 4
+	// Deterministic LCG picks the next update target: 90% hot, 10% cold.
+	state := uint64(0x853C49E6748FEA9B)
+	next := func() int64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		r := state >> 33
+		if r%100 < 98 {
+			return int64(r) % hot
+		}
+		return hot + int64(r)%(pages-hot)
+	}
+	total := pages * int64(rounds)
+	var issued, done int64
+	var baseHost, baseGC uint64
+	var startNs int64
+	var pump func()
+	pump = func() {
+		for issued-done < 64 && issued < total {
+			issued++
+			dev.ProgramUpdate(next(), func() {
+				done++
+				if done == total/4 { // skip warm-up for steady-state WAF
+					baseHost = dev.FTL().HostProgrammed()
+					baseGC = dev.FTL().GCProgrammed()
+					startNs = int64(eng.Now())
+				}
+				pump()
+			})
+		}
+	}
+	pump()
+	ok := false
+	dev.Drain(func() { ok = true })
+	eng.Run()
+	if !ok {
+		return 0, 0, 0, errWedged
+	}
+	host := dev.FTL().HostProgrammed() - baseHost
+	gc := dev.FTL().GCProgrammed() - baseGC
+	if host == 0 {
+		return 1, 0, 0, nil
+	}
+	waf = float64(host+gc) / float64(host)
+	elapsed := float64(int64(eng.Now())-startNs) / 1e9
+	if elapsed > 0 {
+		rate = float64(host) / elapsed
+	}
+	return waf, dev.Stats().GCRelocations, rate, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"errors"
+
+	"repro/internal/nand"
+	"repro/internal/odp"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/stats"
+)
+
+// simEngine aliases the simulation engine so experiment files read cleanly.
+type simEngine = sim.Engine
+
+func newSimEngine() *simEngine { return sim.NewEngine() }
+
+var errWedged = errors.New("experiments: simulation wedged")
+
+// defaultODPWithLanes returns the baseline ODP design point with a
+// different lane count (buffer scaled to keep four pages resident).
+func defaultODPWithLanes(lanes int) odp.Params {
+	p := odp.DefaultParams()
+	p.Lanes = lanes
+	return p
+}
+
+// odpCost evaluates the silicon-cost model.
+func odpCost(p odp.Params) odp.Cost { return odp.CostFor(p) }
+
+// regionConfig is the small-device configuration used for steady-state GC
+// measurements: same cell type and watermarks as the default SSD, scaled
+// geometry so multi-sweep runs stay fast.
+func regionConfig(overProvision float64) ssd.Config {
+	n := nand.ParamsFor(nand.TLC)
+	n.BlocksPerPlane = 16
+	n.PagesPerBlock = 32
+	n.PlanesPerDie = 2
+	return ssd.Config{
+		Channels:        2,
+		DiesPerChannel:  2,
+		Nand:            n,
+		OverProvision:   overProvision,
+		GCLowWater:      2,
+		GCHighWater:     3,
+		CachePages:      64,
+		DRAMPageLatency: 2 * sim.Microsecond,
+		CmdLatency:      5 * sim.Microsecond,
+	}
+}
+
+// newHist builds an unnamed latency histogram.
+func newHist() *stats.Hist { return stats.NewHist("lat") }

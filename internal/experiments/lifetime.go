@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/nand"
+	"repro/internal/stats"
+)
+
+// runF9 regenerates the endurance study: device lifetime under the
+// training update stream, per cell mode, on a model whose state fits.
+func runF9(opts Options) (*Result, error) {
+	t := stats.NewTable("F9: endurance of the state region (GPT-13B, Adam)",
+		"cell", "device-TB", "state-fits", "WAF", "lifetime-steps", "lifetime-days")
+	fig := stats.NewFigure("F9: lifetime vs cell mode", "cell index", "lifetime steps")
+	s := fig.AddSeries("lifetime")
+	cells := []nand.CellType{nand.SLC, nand.MLC, nand.TLC, nand.QLC}
+	for i, cell := range cells {
+		cfg := baseConfig(opts, dnn.GPT13B())
+		rep, err := core.RunEndurance(cfg, cell, opts.wafSteps())
+		if err != nil {
+			return nil, err
+		}
+		if !rep.Fits {
+			t.AddRow(cell.String(), float64(rep.DeviceBytes)/1e12, false, "-", "-", "-")
+			continue
+		}
+		t.AddRow(cell.String(), float64(rep.DeviceBytes)/1e12, true, rep.MeasuredWAF,
+			rep.LifetimeSteps, rep.LifetimeDays)
+		s.Add(float64(i), rep.LifetimeSteps)
+	}
+	t2 := stats.NewTable("F9b: per-model TLC lifetime",
+		"model", "state-GB", "lifetime-steps", "lifetime-days")
+	models := []dnn.Model{dnn.GPT2XL(), dnn.GPT13B()}
+	if !opts.Quick {
+		models = append(models, dnn.GPT6B7(), dnn.GPT30B())
+	}
+	for _, m := range models {
+		cfg := baseConfig(opts, m)
+		rep, err := core.RunEndurance(cfg, nand.TLC, opts.wafSteps())
+		if err != nil {
+			return nil, err
+		}
+		if !rep.Fits {
+			t2.AddRow(m.Name, float64(rep.StateBytes)/1e9, "-", "-")
+			continue
+		}
+		t2.AddRow(m.Name, float64(rep.StateBytes)/1e9, rep.LifetimeSteps, rep.LifetimeDays)
+	}
+	return &Result{Tables: []*stats.Table{t, t2}, Figures: []*stats.Figure{fig}}, nil
+}
+
+// runF10 regenerates the end-to-end throughput figure: tokens/s per system
+// across models, with the optimizer step overlapped with backward compute.
+func runF10(opts Options) (*Result, error) {
+	t := stats.NewTable("F10: end-to-end training throughput (batch 8)",
+		"model", "system", "fwdbwd-s", "opt-step-s", "step-s", "tokens/s")
+	fig := stats.NewFigure("F10: tokens/s", "params", "tokens/s")
+	series := map[string]*stats.Series{}
+	for _, n := range []string{"hostoffload", "ctrlisp", "optimstore"} {
+		series[n] = fig.AddSeries(n)
+	}
+	models := perfModels(opts)
+	for _, m := range models {
+		cfg := baseConfig(opts, m)
+		rs, err := runSystems(cfg, "hostoffload", "ctrlisp", "optimstore")
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range rs {
+			name := []string{"hostoffload", "ctrlisp", "optimstore"}[i]
+			t.AddRow(m.Name, r.System, r.FwdBwdTime.Seconds(), r.OptStepTime.Seconds(),
+				r.StepTime.Seconds(), r.TokensPerSec)
+			series[name].Add(float64(m.Params), r.TokensPerSec)
+		}
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("no models")
+	}
+	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
+}

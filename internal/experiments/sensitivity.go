@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/stats"
+)
+
+// runF4 regenerates the energy-breakdown figure on GPT-13B.
+func runF4(opts Options) (*Result, error) {
+	cfg := baseConfig(opts, dnn.GPT13B())
+	rs, err := runSystems(cfg, "hostoffload", "ctrlisp", "optimstore")
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("F4: per-parameter step energy (GPT-13B, Adam, mixed precision)",
+		"system", "total-J", "pJ/param", "reduction-vs-offload")
+	base := rs[0].Energy.Total()
+	for _, r := range rs {
+		t.AddRow(r.System, r.Energy.Total(), r.EnergyPerParamPJ(cfg.Model.Params),
+			base/r.Energy.Total())
+	}
+	return &Result{Tables: []*stats.Table{
+		t,
+		core.EnergyTable("F4: energy breakdown by component (J per step)", rs),
+	}}, nil
+}
+
+// runF5 regenerates the internal-parallelism sweep: channels × dies.
+func runF5(opts Options) (*Result, error) {
+	fig := stats.NewFigure("F5: step latency vs internal parallelism", "dies total", "opt-step seconds")
+	t := stats.NewTable("F5: parallelism sweep (GPT-13B)",
+		"channels", "dies/ch", "planes", "optimstore-s", "offload-s")
+	chans := []int{2, 4, 8, 16}
+	diesPer := []int{2, 4}
+	if opts.Quick {
+		chans = []int{4, 8}
+		diesPer = []int{4}
+	}
+	for _, dpc := range diesPer {
+		s := fig.AddSeries(fmt.Sprintf("optimstore %d dies/ch", dpc))
+		so := fig.AddSeries(fmt.Sprintf("offload %d dies/ch", dpc))
+		for _, ch := range chans {
+			cfg := baseConfig(opts, dnn.GPT13B())
+			cfg.SSD.Channels = ch
+			cfg.SSD.DiesPerChannel = dpc
+			rs, err := runSystems(cfg, "optimstore", "hostoffload")
+			if err != nil {
+				return nil, err
+			}
+			planes := cfg.SSD.Geometry().Planes()
+			t.AddRow(ch, dpc, planes, rs[0].OptStepTime.Seconds(), rs[1].OptStepTime.Seconds())
+			s.Add(float64(ch*dpc), rs[0].OptStepTime.Seconds())
+			so.Add(float64(ch*dpc), rs[1].OptStepTime.Seconds())
+		}
+	}
+	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
+}
+
+// runF6 regenerates the ODP design-space sweep: lanes and clock.
+func runF6(opts Options) (*Result, error) {
+	fig := stats.NewFigure("F6: step latency vs ODP throughput", "lanes", "opt-step seconds")
+	t := stats.NewTable("F6: ODP sweep (GPT-13B, Adam)",
+		"lanes", "clock-MHz", "elems/s-per-die", "optimstore-s")
+	lanes := []int{1, 2, 4, 8, 16, 32}
+	clocks := []int{200, 400}
+	if opts.Quick {
+		lanes = []int{1, 8, 32}
+		clocks = []int{400}
+	}
+	for _, clk := range clocks {
+		s := fig.AddSeries(fmt.Sprintf("%d MHz", clk))
+		for _, ln := range lanes {
+			cfg := baseConfig(opts, dnn.GPT13B())
+			cfg.ODP.Lanes = ln
+			cfg.ODP.ClockMHz = clk
+			rs, err := runSystems(cfg, "optimstore")
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(ln, clk, cfg.ODP.ThroughputElemsPerSec(13), rs[0].OptStepTime.Seconds())
+			s.Add(float64(ln), rs[0].OptStepTime.Seconds())
+		}
+	}
+	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+	"repro/internal/odp"
+	"repro/internal/optim"
+	"repro/internal/stats"
+)
+
+// runT1 regenerates the system-configuration table (paper analogue:
+// "Simulation configuration").
+func runT1(opts Options) (*Result, error) {
+	cfg := baseConfig(opts, dnn.GPT13B())
+	t := stats.NewTable("T1: system configuration", "component", "parameter", "value")
+
+	n := cfg.SSD.Nand
+	geo := cfg.SSD.Geometry()
+	t.AddRow("NAND", "cell type", n.Cell.String())
+	t.AddRow("NAND", "page size", fmt.Sprintf("%d KiB", n.PageSize/1024))
+	t.AddRow("NAND", "tR / page", n.ReadLatency.String())
+	t.AddRow("NAND", "tPROG / page (wordline-amortised)", n.ProgramLatency.String())
+	t.AddRow("NAND", "tBERS", n.EraseLatency.String())
+	t.AddRow("NAND", "rated P/E cycles", n.PECycles)
+	t.AddRow("SSD", "channels × dies × planes",
+		fmt.Sprintf("%d × %d × %d = %d planes", cfg.SSD.Channels, cfg.SSD.DiesPerChannel,
+			n.PlanesPerDie, geo.Planes()))
+	t.AddRow("SSD", "channel bus", fmt.Sprintf("%d MB/s", n.BusMBps))
+	t.AddRow("SSD", "over-provisioning", fmt.Sprintf("%.1f%%", cfg.SSD.OverProvision*100))
+	t.AddRow("SSD", "internal read BW", fmt.Sprintf("%.1f GB/s", cfg.SSD.InternalReadMBps()/1000))
+	t.AddRow("SSD", "internal program BW", fmt.Sprintf("%.1f GB/s", cfg.SSD.InternalProgramMBps()/1000))
+	t.AddRow("ODP", "lanes × clock", fmt.Sprintf("%d × %d MHz", cfg.ODP.Lanes, cfg.ODP.ClockMHz))
+	t.AddRow("ODP", "buffer", fmt.Sprintf("%d KiB", cfg.ODP.BufferKB))
+	cost := odp.CostFor(cfg.ODP)
+	t.AddRow("ODP", "area", fmt.Sprintf("%.3f mm² (%.2f%% of die)", cost.AreaMM2, cost.DieAreaPct))
+	t.AddRow("Host link", "type", cfg.Link.Name)
+	t.AddRow("Host link", "effective BW", fmt.Sprintf("%.2f GB/s per direction", cfg.Link.EffectiveGBps()))
+	t.AddRow("GPU", "type", cfg.GPU.Name)
+	t.AddRow("GPU", "peak / MFU", fmt.Sprintf("%.0f TFLOPS / %.2f", cfg.GPU.PeakTFLOPS, cfg.GPU.MFU))
+	t.AddRow("GPU", "HBM", fmt.Sprintf("%.0f GB/s, %.0f GB", cfg.GPU.HBMGBps, cfg.GPU.MemoryGB))
+	t.AddRow("Controller", "cores (CtrlISP)",
+		fmt.Sprintf("%.0f GFLOPS, %.0f GB/s DRAM", cfg.CtrlCPU.GFLOPS, cfg.CtrlCPU.DRAMGBps))
+	t.AddRow("Workload", "optimizer / precision", cfg.Optimizer.String()+" / "+cfg.Precision.String())
+	t.AddRow("Workload", "sim window", fmt.Sprintf("%d units (scale %.0fx)", cfg.SimUnits(), cfg.ScaleFactor()))
+	return &Result{Tables: []*stats.Table{t}}, nil
+}
+
+// runT2 regenerates the model-zoo table: per-model parameter counts and
+// per-step byte footprints under the default Adam/Mixed16 regime.
+func runT2(Options) (*Result, error) {
+	spec := optim.SpecFor(optim.Adam, optim.Mixed16)
+	t := stats.NewTable("T2: models and per-step footprints (Adam, mixed precision)",
+		"model", "params", "state-GB", "grad-GB", "offload-traffic-GB",
+		"instore-traffic-GB", "fits-A100-40G")
+	for _, m := range dnn.Zoo() {
+		state := float64(m.Params) * float64(spec.ResidentBytes()) / 1e9
+		grad := float64(m.Params) * float64(spec.GradBytes) / 1e9
+		offload := float64(m.Params) * float64(spec.OffloadTrafficBytes()) / 1e9
+		instore := float64(m.Params) * float64(spec.HostTrafficBytes()) / 1e9
+		// GPU-resident footprint: working weights + grads + full state.
+		fits := float64(m.Params)*float64(spec.ResidentBytes()+spec.GradBytes+spec.WeightOutBytes)*1.2 < 40e9
+		t.AddRow(m.Name, dnn.FormatCount(m.Params), state, grad, offload, instore, fits)
+	}
+	return &Result{Tables: []*stats.Table{t}}, nil
+}

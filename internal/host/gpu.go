@@ -1,0 +1,108 @@
+package host
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// GPUParams is a roofline description of a training accelerator.
+type GPUParams struct {
+	Name string
+	// PeakTFLOPS is the half-precision tensor throughput.
+	PeakTFLOPS float64
+	// MFU is the model FLOPs utilisation achieved on real training steps
+	// (0.3–0.5 for well-tuned transformer stacks).
+	MFU float64
+	// HBMGBps is the device memory bandwidth.
+	HBMGBps float64
+	// MemoryGB is the device memory capacity, which decides whether a
+	// model's optimizer state can stay GPU-resident at all.
+	MemoryGB float64
+}
+
+// A100_40 returns NVIDIA A100-40GB ballpark parameters.
+func A100_40() GPUParams {
+	return GPUParams{Name: "A100-40GB", PeakTFLOPS: 312, MFU: 0.4, HBMGBps: 1555, MemoryGB: 40}
+}
+
+// A100_80 returns NVIDIA A100-80GB ballpark parameters.
+func A100_80() GPUParams {
+	return GPUParams{Name: "A100-80GB", PeakTFLOPS: 312, MFU: 0.4, HBMGBps: 2039, MemoryGB: 80}
+}
+
+// V100 returns NVIDIA V100-32GB ballpark parameters.
+func V100() GPUParams {
+	return GPUParams{Name: "V100-32GB", PeakTFLOPS: 125, MFU: 0.35, HBMGBps: 900, MemoryGB: 32}
+}
+
+// Validate reports the first structural problem.
+func (p GPUParams) Validate() error {
+	if p.PeakTFLOPS <= 0 || p.MFU <= 0 || p.MFU > 1 || p.HBMGBps <= 0 || p.MemoryGB <= 0 {
+		return fmt.Errorf("host: gpu params %+v", p)
+	}
+	return nil
+}
+
+// ComputeTime returns the time to execute the given FLOPs at sustained
+// (MFU-derated) throughput.
+func (p GPUParams) ComputeTime(flops float64) sim.Time {
+	if flops <= 0 {
+		return 0
+	}
+	sec := flops / (p.PeakTFLOPS * 1e12 * p.MFU)
+	return sim.Time(sec * 1e9)
+}
+
+// MemTime returns the time to stream the given bytes through HBM.
+func (p GPUParams) MemTime(bytes float64) sim.Time {
+	if bytes <= 0 {
+		return 0
+	}
+	sec := bytes / (p.HBMGBps * 1e9)
+	return sim.Time(sec * 1e9)
+}
+
+// KernelTime is the roofline estimate: the slower of compute and memory.
+func (p GPUParams) KernelTime(flops, bytes float64) sim.Time {
+	c, m := p.ComputeTime(flops), p.MemTime(bytes)
+	if c > m {
+		return c
+	}
+	return m
+}
+
+// GPU is a simulated accelerator executing one kernel at a time.
+type GPU struct {
+	params GPUParams
+	busy   *sim.Resource
+	flops  float64
+	bytes  float64
+}
+
+// NewGPU builds a GPU on the engine; invalid params panic.
+func NewGPU(eng *sim.Engine, p GPUParams) *GPU {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &GPU{params: p, busy: sim.NewResource(eng, p.Name, 1)}
+}
+
+// Params returns the GPU description.
+func (g *GPU) Params() GPUParams { return g.params }
+
+// Run executes a kernel with the given roofline footprint, then calls done.
+func (g *GPU) Run(flops, bytes float64, done func()) {
+	g.flops += flops
+	g.bytes += bytes
+	g.busy.Use(g.params.KernelTime(flops, bytes), done)
+}
+
+// Flops returns the cumulative FLOPs executed.
+func (g *GPU) Flops() float64 { return g.flops }
+
+// HBMBytes returns the cumulative HBM traffic.
+func (g *GPU) HBMBytes() float64 { return g.bytes }
+
+// Utilization returns the busy fraction since simulation start.
+func (g *GPU) Utilization() float64 { return g.busy.Utilization() }

@@ -1,0 +1,41 @@
+package odp
+
+// Cost is the analytic silicon cost of one on-die processing unit.
+// Constants are ballpark figures for FP units and SRAM implemented in the
+// coarse CMOS periphery process of 3D NAND (logic there is roughly a
+// decade behind foundry logic nodes). The F12 experiment reports this
+// table; F6 sweeps lanes, so conclusions never rest on a single constant.
+type Cost struct {
+	AreaMM2    float64 // silicon area per unit
+	StaticMW   float64 // leakage + clocking power
+	DynamicPJ  float64 // energy per scalar FP operation
+	BufferMM2  float64 // portion of AreaMM2 that is SRAM
+	DieAreaPct float64 // unit area as a fraction of a ~70mm² NAND die
+}
+
+// Per-lane / per-KB cost constants (coarse-periphery ballpark).
+const (
+	laneAreaMM2   = 0.015 // one FP32 FMA-capable lane incl. routing
+	laneStaticMW  = 0.6   // per-lane static power
+	opEnergyPJ    = 18.0  // per scalar op, incl. local operand movement
+	sramAreaPerKB = 0.009 // mm² per KiB of staging SRAM
+	sramStaticMW  = 0.02  // per KiB static power
+	nandDieMM2    = 70.0  // reference die size for the area-fraction row
+)
+
+// CostFor evaluates the analytic model for a design point.
+func CostFor(p Params) Cost {
+	buffer := sramAreaPerKB * float64(p.BufferKB)
+	area := laneAreaMM2*float64(p.Lanes) + buffer
+	return Cost{
+		AreaMM2:    area,
+		StaticMW:   laneStaticMW*float64(p.Lanes) + sramStaticMW*float64(p.BufferKB),
+		DynamicPJ:  opEnergyPJ,
+		BufferMM2:  buffer,
+		DieAreaPct: area / nandDieMM2 * 100,
+	}
+}
+
+// OpEnergyPJ exposes the per-operation dynamic energy constant for the
+// energy package.
+func OpEnergyPJ() float64 { return opEnergyPJ }

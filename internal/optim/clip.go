@@ -1,0 +1,31 @@
+package optim
+
+import "math"
+
+// GlobalNorm returns ‖g‖₂ computed in float64 for stability.
+func GlobalNorm(g []float32) float64 {
+	var ss float64
+	for _, v := range g {
+		ss += float64(v) * float64(v)
+	}
+	return math.Sqrt(ss)
+}
+
+// ClipGlobalNorm scales g in place so its L2 norm does not exceed maxNorm
+// (the standard large-model training safeguard) and returns the norm
+// observed before clipping. Non-positive maxNorm panics. A zero gradient
+// is left untouched.
+func ClipGlobalNorm(g []float32, maxNorm float64) float64 {
+	if maxNorm <= 0 {
+		panic("optim: ClipGlobalNorm with non-positive maxNorm")
+	}
+	norm := GlobalNorm(g)
+	if norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := float32(maxNorm / norm)
+	for i := range g {
+		g[i] *= scale
+	}
+	return norm
+}

@@ -1,0 +1,42 @@
+package optim_test
+
+import (
+	"fmt"
+
+	"repro/internal/optim"
+)
+
+// Example trains one parameter toward a target with Adam.
+func Example() {
+	opt := optim.New(optim.Adam, optim.Hyper{LR: 0.1})
+	w := []float32{0}
+	for i := 0; i < 300; i++ {
+		g := []float32{w[0] - 3} // ∇ of ½(w−3)²
+		opt.Step(w, g)
+	}
+	fmt.Printf("w converged to %.2f after %d steps\n", w[0], opt.Steps())
+	// Output:
+	// w converged to 3.00 after 300 steps
+}
+
+// ExampleSpecFor shows the per-parameter traffic accounting the timing
+// model is built on.
+func ExampleSpecFor() {
+	spec := optim.SpecFor(optim.Adam, optim.Mixed16)
+	fmt.Println("resident bytes/param:", spec.ResidentBytes())
+	fmt.Println("in-storage traffic  :", spec.HostTrafficBytes())
+	fmt.Println("offload traffic     :", spec.OffloadTrafficBytes())
+	// Output:
+	// resident bytes/param: 12
+	// in-storage traffic  : 4
+	// offload traffic     : 24
+}
+
+// ExampleClipGlobalNorm shows the standard gradient safeguard.
+func ExampleClipGlobalNorm() {
+	g := []float32{3, 4} // norm 5
+	before := optim.ClipGlobalNorm(g, 1)
+	fmt.Printf("norm %.0f clipped to %.0f\n", before, optim.GlobalNorm(g))
+	// Output:
+	// norm 5 clipped to 1
+}

@@ -1,0 +1,52 @@
+package optim
+
+// Kernel describes the per-element compute shape of one optimizer as the
+// on-die processing unit executes it. The ODP cost model multiplies these
+// by element counts and lane throughput; the layout engine uses ReadPasses
+// to schedule page reads.
+type Kernel struct {
+	Kind Kind
+
+	// FlopsPerElem counts primitive arithmetic operations (mul/add/sqrt/div
+	// each as one) per parameter per step.
+	FlopsPerElem int
+
+	// ReadPasses is how many times the resident state must be streamed
+	// through the compute unit. 1 for every elementwise optimizer; 2 for
+	// LAMB, whose trust ratio needs norms before scaling.
+	ReadPasses int
+
+	// GlobalReduce marks optimizers needing a cross-die reduction between
+	// passes (LAMB's ‖w‖, ‖r‖). The engine inserts a controller round-trip.
+	GlobalReduce bool
+}
+
+// KernelFor returns the kernel descriptor for an optimizer kind.
+func KernelFor(kind Kind) Kernel {
+	k := Kernel{Kind: kind, ReadPasses: 1}
+	switch kind {
+	case SGD:
+		k.FlopsPerElem = 2 // lr·g, w−
+	case Momentum:
+		k.FlopsPerElem = 4 // µ·v, +g, lr·v, w−
+	case Nesterov:
+		k.FlopsPerElem = 6
+	case Adagrad:
+		k.FlopsPerElem = 7 // g², h+, √, +ε, ÷, lr·, w−
+	case RMSProp:
+		k.FlopsPerElem = 9
+	case Adam:
+		k.FlopsPerElem = 13 // two EMA updates, bias correction, √, ÷, apply
+	case AdamW:
+		k.FlopsPerElem = 15
+	case LAMB:
+		k.FlopsPerElem = 18
+		k.ReadPasses = 2
+		k.GlobalReduce = true
+	case AMSGrad:
+		k.FlopsPerElem = 15 // Adam plus the running max
+	default:
+		panic("optim: unknown kernel kind")
+	}
+	return k
+}

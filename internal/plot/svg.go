@@ -1,0 +1,206 @@
+// Package plot renders stats.Figure data as standalone SVG line charts
+// using only the standard library — the reproduction's figures can be
+// regenerated as actual image files (cmd/optimstore -svg).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Options controls rendering.
+type Options struct {
+	Width, Height int
+	// LogX draws the x axis in log10 space (model-scale sweeps span
+	// orders of magnitude). Only valid when every x is positive.
+	LogX bool
+}
+
+// DefaultOptions returns a 720×440 linear-axis chart.
+func DefaultOptions() Options { return Options{Width: 720, Height: 440} }
+
+// Series colors (categorical palette, colorblind-safe ordering).
+var palette = []string{
+	"#4477AA", "#EE6677", "#228833", "#CCBB44", "#66CCEE", "#AA3377", "#BBBBBB",
+}
+
+const (
+	marginL = 70
+	marginR = 20
+	marginT = 40
+	marginB = 55
+)
+
+// SVG renders the figure. An empty figure produces a small placeholder.
+func SVG(f *stats.Figure, opts Options) string {
+	if opts.Width < 200 {
+		opts.Width = 200
+	}
+	if opts.Height < 150 {
+		opts.Height = 150
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n",
+		opts.Width, opts.Height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", opts.Width, opts.Height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginL, esc(f.Title))
+
+	minX, maxX, minY, maxY, any := bounds(f)
+	if !any {
+		b.WriteString(`<text x="50%" y="50%" text-anchor="middle">(no data)</text></svg>`)
+		return b.String()
+	}
+	if opts.LogX && minX <= 0 {
+		opts.LogX = false
+	}
+	tx := func(x float64) float64 { return x }
+	if opts.LogX {
+		tx = math.Log10
+		minX, maxX = tx(minX), tx(maxX)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// Pad y range 5% each side.
+	pad := (maxY - minY) * 0.05
+	minY -= pad
+	maxY += pad
+
+	plotW := float64(opts.Width - marginL - marginR)
+	plotH := float64(opts.Height - marginT - marginB)
+	px := func(x float64) float64 { return float64(marginL) + (tx(x)-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return float64(marginT) + (1-(y-minY)/(maxY-minY))*plotH }
+
+	// Axes box and gridlines with tick labels.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#888"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+	for _, t := range ticks(minY, maxY, 5) {
+		y := py(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, float64(marginL)+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			marginL-6, y, label(t))
+	}
+	for _, t := range ticks(minX, maxX, 6) {
+		xv := t
+		x := float64(marginL) + (t-minX)/(maxX-minX)*plotW
+		if opts.LogX {
+			xv = math.Pow(10, t)
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			x, marginT, x, float64(marginT)+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			x, float64(marginT)+plotH+16, label(xv))
+	}
+	// Axis titles.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-style="italic">%s</text>`+"\n",
+		float64(marginL)+plotW/2, opts.Height-12, esc(f.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" text-anchor="middle" font-style="italic" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		float64(marginT)+plotH/2, float64(marginT)+plotH/2, esc(f.YLabel))
+
+	// Series polylines + markers + legend.
+	legendY := marginT + 4
+	for si, s := range f.Series {
+		color := palette[si%len(palette)]
+		var drawable []stats.Point
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+				continue
+			}
+			drawable = append(drawable, p)
+		}
+		if len(drawable) > 0 {
+			var pts []string
+			for _, p := range drawable {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(p.X), py(p.Y)))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+			for _, p := range drawable {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+					px(p.X), py(p.Y), color)
+			}
+		}
+		lx := float64(marginL) + plotW - 150
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="12" height="12" fill="%s"/>`+"\n",
+			lx, legendY, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d">%s</text>`+"\n", lx+16, legendY+10, esc(s.Name))
+		legendY += 16
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func bounds(f *stats.Figure) (minX, maxX, minY, maxY float64, any bool) {
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+				continue
+			}
+			if !any {
+				minX, maxX, minY, maxY = p.X, p.X, p.Y, p.Y
+				any = true
+				continue
+			}
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	return
+}
+
+// ticks returns ~n round values covering [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if n < 2 || hi <= lo {
+		return []float64{lo, hi}
+	}
+	rawStep := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	step := mag
+	for _, m := range []float64{1, 2, 5, 10} {
+		if mag*m >= rawStep {
+			step = mag * m
+			break
+		}
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step/1e9; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+// label formats a tick value compactly (SI-ish suffixes for big numbers).
+func label(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e12:
+		return fmt.Sprintf("%.3gT", v/1e12)
+	case a >= 1e9:
+		return fmt.Sprintf("%.3gB", v/1e9)
+	case a >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case a >= 1e3:
+		return fmt.Sprintf("%.3gK", v/1e3)
+	case a == 0:
+		return "0"
+	case a < 0.01:
+		return fmt.Sprintf("%.1e", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

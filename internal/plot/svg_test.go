@@ -1,0 +1,139 @@
+package plot
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func demoFigure() *stats.Figure {
+	f := stats.NewFigure("speedup vs scale", "params", "speedup ×")
+	a := f.AddSeries("optimstore")
+	b := f.AddSeries("baseline")
+	for i := 1; i <= 5; i++ {
+		a.Add(float64(i)*1e9, 1.8)
+		b.Add(float64(i)*1e9, 1.0)
+	}
+	return f
+}
+
+func TestSVGStructure(t *testing.T) {
+	svg := SVG(demoFigure(), DefaultOptions())
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "speedup vs scale",
+		"optimstore", "baseline", "params", "speedup ×",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q in SVG", want)
+		}
+	}
+	// Two series → two polylines.
+	if n := strings.Count(svg, "<polyline"); n != 2 {
+		t.Fatalf("polylines = %d", n)
+	}
+	// Markers present.
+	if strings.Count(svg, "<circle") != 10 {
+		t.Fatal("point markers missing")
+	}
+}
+
+func TestSVGEmptyFigure(t *testing.T) {
+	f := stats.NewFigure("empty", "x", "y")
+	svg := SVG(f, DefaultOptions())
+	if !strings.Contains(svg, "no data") {
+		t.Fatalf("empty figure: %q", svg)
+	}
+}
+
+func TestSVGLogX(t *testing.T) {
+	f := stats.NewFigure("scale", "params", "s")
+	s := f.AddSeries("a")
+	for _, x := range []float64{1e8, 1e9, 1e10, 1e11} {
+		s.Add(x, x/1e9)
+	}
+	opts := DefaultOptions()
+	opts.LogX = true
+	svg := SVG(f, opts)
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("no polyline")
+	}
+	// Log axis must not be silently linear: the first two points (10×
+	// apart) and last two (10× apart) should be equidistant horizontally.
+	xs := circleXs(t, svg)
+	if len(xs) != 4 {
+		t.Fatalf("circles = %d", len(xs))
+	}
+	d1 := xs[1] - xs[0]
+	d3 := xs[3] - xs[2]
+	if math.Abs(d1-d3) > 1.5 {
+		t.Fatalf("log spacing uneven: %v vs %v", d1, d3)
+	}
+}
+
+// circleXs extracts the cx attribute of every circle element.
+func circleXs(t *testing.T, svg string) []float64 {
+	t.Helper()
+	var xs []float64
+	for _, part := range strings.Split(svg, `cx="`)[1:] {
+		end := strings.IndexByte(part, '"')
+		v, err := strconv.ParseFloat(part[:end], 64)
+		if err != nil {
+			t.Fatalf("bad cx in %q: %v", part[:end], err)
+		}
+		xs = append(xs, v)
+	}
+	return xs
+}
+
+func TestTicksRound(t *testing.T) {
+	got := ticks(0, 100, 5)
+	if len(got) < 3 {
+		t.Fatalf("ticks = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("ticks not increasing: %v", got)
+		}
+	}
+	if got[0] < 0 || got[len(got)-1] > 100+1e-9 {
+		t.Fatalf("ticks escape range: %v", got)
+	}
+}
+
+func TestLabelFormats(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		1500:   "1.5K",
+		2e6:    "2M",
+		3e9:    "3B",
+		4e12:   "4T",
+		0.5:    "0.5",
+		0.0001: "1.0e-04",
+	}
+	for in, want := range cases {
+		if got := label(in); got != want {
+			t.Errorf("label(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEsc(t *testing.T) {
+	if esc(`a<b>&"c"`) != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Fatalf("esc = %q", esc(`a<b>&"c"`))
+	}
+}
+
+func TestSVGSkipsNaN(t *testing.T) {
+	f := stats.NewFigure("nan", "x", "y")
+	s := f.AddSeries("s")
+	s.Add(1, 1)
+	s.Add(2, math.NaN())
+	s.Add(3, 3)
+	svg := SVG(f, DefaultOptions())
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+}

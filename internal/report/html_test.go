@@ -1,0 +1,60 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func fakeResults() []*experiments.Result {
+	t := stats.NewTable("demo table", "a", "b")
+	t.AddRow("x<y", 1.5)
+	f := stats.NewFigure("demo fig", "x", "y")
+	s := f.AddSeries("s1")
+	s.Add(1, 2)
+	s.Add(2, 3)
+	return []*experiments.Result{
+		{ID: "T1", Title: "config & <specials>", Tables: []*stats.Table{t}},
+		{ID: "F1", Title: "latency", Figures: []*stats.Figure{f}},
+	}
+}
+
+func TestHTMLStructure(t *testing.T) {
+	out := HTML(fakeResults())
+	for _, want := range []string{
+		"<!DOCTYPE html>", "</html>",
+		`<h2 id="T1">`, `<h2 id="F1">`,
+		"<table>", "<svg", "demo table",
+		`<a href="#T1">`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestHTMLEscapes(t *testing.T) {
+	out := HTML(fakeResults())
+	if strings.Contains(out, "x<y") {
+		t.Fatal("cell content not escaped")
+	}
+	if !strings.Contains(out, "x&lt;y") {
+		t.Fatal("escaped cell missing")
+	}
+	if !strings.Contains(out, "&lt;specials&gt;") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestHTMLFromRealExperiment(t *testing.T) {
+	res, err := experiments.Run("F12", experiments.Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := HTML([]*experiments.Result{res})
+	if !strings.Contains(out, "F12") || !strings.Contains(out, "lanes") {
+		t.Fatal("real experiment not rendered")
+	}
+}

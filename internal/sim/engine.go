@@ -1,0 +1,196 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// All timing models in this repository (NAND dies, channel buses, PCIe
+// links, on-die processing units) are built on this engine. Time is a
+// simple int64 nanosecond counter; events are closures ordered by
+// (time, insertion sequence), which makes every run bit-for-bit
+// reproducible regardless of map iteration order or goroutine scheduling —
+// the engine is strictly single-threaded.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in nanoseconds since simulation start.
+type Time int64
+
+// Common durations, as multiples of the base nanosecond tick.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a simulated duration to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts a simulated duration to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis converts a simulated duration to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders the time with an adaptive unit, for reports and tests.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel it before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index; -1 once popped or cancelled
+	canceled bool
+}
+
+// At reports the simulated time this event will fire at.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator instance. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the total number of events executed so far. Useful for
+// detecting runaway simulations in tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule arranges for fn to run delay nanoseconds after the current
+// simulated time. A negative delay panics: time travel indicates a model
+// bug and must not be silently clamped. A zero delay is legal and fires
+// after all events already scheduled for the current instant.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d at t=%d", delay, e.now))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute simulated time t, which must not be
+// in the past.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already fired
+// or was already cancelled is a harmless no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step executes the single earliest pending event and advances the clock to
+// its timestamp. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called, and returns
+// the final simulated time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued; the clock is advanced to the deadline
+// if the queue drained or only later events remain.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Stop makes the innermost Run or RunUntil return after the current event
+// completes. Pending events are preserved.
+func (e *Engine) Stop() { e.stopped = true }

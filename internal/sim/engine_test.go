@@ -1,0 +1,347 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("end time = %d, want 30", end)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestEngineZeroDelayDuringEvent(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.Schedule(10, func() {
+		got = append(got, "a")
+		e.Schedule(0, func() { got = append(got, "b") })
+	})
+	e.Schedule(10, func() { got = append(got, "c") })
+	e.Run()
+	want := []string{"a", "c", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("event not marked cancelled")
+	}
+	// Double cancel and cancelling nil must be no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestEngineCancelMiddleKeepsOthers(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(10, func() { got = append(got, 1) })
+	ev := e.Schedule(20, func() { got = append(got, 2) })
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Cancel(ev)
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", got)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v before deadline 25", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("now = %d, want clock advanced to deadline 25", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("remaining events lost: %v", fired)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i+1), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7 preserved", e.Pending())
+	}
+}
+
+func TestEngineFiredCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Fired() != 5 {
+		t.Fatalf("fired = %d", e.Fired())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the engine clock matches each event's timestamp when it runs.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var times []Time
+		for _, d := range raw {
+			d := Time(d)
+			e.Schedule(d, func() {
+				if e.Now() != d {
+					t.Errorf("clock %d != event time %d", e.Now(), d)
+				}
+				times = append(times, d)
+			})
+		}
+		e.Run()
+		if len(times) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving schedules from inside running events preserves
+// global time order.
+func TestEngineNestedScheduleProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	e := NewEngine()
+	var last Time = -1
+	violations := 0
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		if e.Now() < last {
+			violations++
+		}
+		last = e.Now()
+		if depth <= 0 {
+			return
+		}
+		n := rng.Intn(3)
+		for i := 0; i < n; i++ {
+			d := Time(rng.Intn(1000))
+			e.Schedule(d, func() { spawn(depth - 1) })
+		}
+	}
+	for i := 0; i < 50; i++ {
+		e.Schedule(Time(rng.Intn(100)), func() { spawn(4) })
+	}
+	e.Run()
+	if violations != 0 {
+		t.Fatalf("%d time-order violations", violations)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if s := (2 * Second).Seconds(); s != 2 {
+		t.Errorf("Seconds = %v", s)
+	}
+	if ms := (5 * Millisecond).Millis(); ms != 5 {
+		t.Errorf("Millis = %v", ms)
+	}
+	if us := (7 * Microsecond).Micros(); us != 7 {
+		t.Errorf("Micros = %v", us)
+	}
+}
+
+func TestPreemptibleBasic(t *testing.T) {
+	e := NewEngine()
+	p := NewPreemptible(e, "plane", 5)
+	var order []string
+	p.Use(300, func() { order = append(order, "prog") })
+	// A priority read arrives mid-program.
+	e.Schedule(100, func() {
+		p.UsePriority(65, func() { order = append(order, "read") })
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "read" || order[1] != "prog" {
+		t.Fatalf("order = %v", order)
+	}
+	// Timeline: prog runs 100, read 100..165, prog resumes with 200
+	// remaining + 5 overhead → ends at 370.
+	if e.Now() != 370 {
+		t.Fatalf("end = %d, want 370", e.Now())
+	}
+	if p.Preemptions() != 1 {
+		t.Fatalf("preemptions = %d", p.Preemptions())
+	}
+}
+
+func TestPreemptibleHighDoesNotPreemptHigh(t *testing.T) {
+	e := NewEngine()
+	p := NewPreemptible(e, "plane", 0)
+	var ends []Time
+	p.UsePriority(100, func() { ends = append(ends, e.Now()) })
+	e.Schedule(10, func() {
+		p.UsePriority(100, func() { ends = append(ends, e.Now()) })
+	})
+	e.Run()
+	if ends[0] != 100 || ends[1] != 200 {
+		t.Fatalf("ends = %v", ends)
+	}
+	if p.Preemptions() != 0 {
+		t.Fatal("high preempted high")
+	}
+}
+
+func TestPreemptiblePriorityQueueJumpsLow(t *testing.T) {
+	e := NewEngine()
+	p := NewPreemptible(e, "plane", 0)
+	var order []string
+	p.Use(100, func() { order = append(order, "a") })
+	p.Use(100, func() { order = append(order, "b") })
+	e.Schedule(10, func() {
+		p.UsePriority(10, func() { order = append(order, "hi") })
+	})
+	e.Run()
+	// hi suspends a, finishes, a resumes, then b.
+	want := []string{"hi", "a", "b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestPreemptibleDoubleSuspend(t *testing.T) {
+	e := NewEngine()
+	p := NewPreemptible(e, "plane", 2)
+	var progEnd Time
+	p.Use(300, func() { progEnd = e.Now() })
+	e.Schedule(50, func() { p.UsePriority(10, nil) })
+	e.Schedule(100, func() { p.UsePriority(10, nil) })
+	e.Run()
+	// Two suspends: total = 300 + 2×10 + 2×2 overhead = 324.
+	if progEnd != 324 {
+		t.Fatalf("program end = %d, want 324", progEnd)
+	}
+	if p.Preemptions() != 2 {
+		t.Fatalf("preemptions = %d", p.Preemptions())
+	}
+}
+
+func TestPreemptibleUtilization(t *testing.T) {
+	e := NewEngine()
+	p := NewPreemptible(e, "plane", 0)
+	p.Use(100, nil)
+	e.Schedule(200, func() {})
+	e.Run()
+	if u := p.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if p.Busy() {
+		t.Fatal("still busy")
+	}
+}
+
+func TestPreemptibleNegativeOverheadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewPreemptible(NewEngine(), "bad", -1)
+}

@@ -1,0 +1,78 @@
+package sim
+
+// Counter is a completion counter (a simulation-domain WaitGroup): Add
+// registers expected completions, Done signals one, and when the count
+// reaches zero the callback fires. Unlike sync.WaitGroup it is purely
+// single-threaded and may be re-armed.
+type Counter struct {
+	n    int
+	done func()
+}
+
+// NewCounter returns a counter that invokes done when n completions have
+// been signalled. If n is zero, done fires on the first Arm call.
+func NewCounter(n int, done func()) *Counter {
+	return &Counter{n: n, done: done}
+}
+
+// Add increases the number of expected completions.
+func (c *Counter) Add(delta int) { c.n += delta }
+
+// Remaining returns the number of completions still outstanding.
+func (c *Counter) Remaining() int { return c.n }
+
+// Done signals one completion; when the count hits zero the callback runs
+// synchronously. Calling Done more times than registered panics.
+func (c *Counter) Done() {
+	if c.n <= 0 {
+		panic("sim: Counter.Done below zero")
+	}
+	c.n--
+	if c.n == 0 && c.done != nil {
+		cb := c.done
+		c.done = nil
+		cb()
+	}
+}
+
+// Arm fires the callback immediately if no completions are outstanding.
+// Use after a loop that may have issued zero operations.
+func (c *Counter) Arm() {
+	if c.n == 0 && c.done != nil {
+		cb := c.done
+		c.done = nil
+		cb()
+	}
+}
+
+// Stage is one step of a Chain: it performs asynchronous work and invokes
+// next exactly once when finished.
+type Stage func(next func())
+
+// Chain runs stages strictly in order, each starting when its predecessor
+// signals completion, then calls done (which may be nil). It is the
+// sequencing primitive used for multi-phase NAND operations
+// (bus-transfer → program → status).
+func Chain(done func(), stages ...Stage) {
+	var run func(i int)
+	run = func(i int) {
+		if i >= len(stages) {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		stages[i](func() { run(i + 1) })
+	}
+	run(0)
+}
+
+// ForkJoin starts every branch immediately and calls done once all have
+// completed. With zero branches done fires synchronously.
+func ForkJoin(done func(), branches ...Stage) {
+	c := NewCounter(len(branches), done)
+	for _, b := range branches {
+		b(c.Done)
+	}
+	c.Arm()
+}

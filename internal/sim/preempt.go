@@ -1,0 +1,158 @@
+package sim
+
+import "fmt"
+
+// Preemptible is a capacity-1 server whose low-priority occupant can be
+// suspended by high-priority requests — the model for NAND program/erase
+// suspend: a page read (tens of µs) preempts an in-flight program
+// (hundreds of µs), which then resumes where it left off plus a resume
+// overhead.
+//
+// Scheduling rules:
+//   - high-priority requests run ahead of every queued low-priority one,
+//     and suspend the current occupant if it is low-priority;
+//   - a suspended occupant resumes (remaining time + ResumeOverhead) once
+//     no high-priority work is pending;
+//   - high-priority work never preempts high-priority work.
+type Preemptible struct {
+	eng  *Engine
+	name string
+
+	// ResumeOverhead is added to the remaining time of a suspended
+	// operation each time it resumes.
+	ResumeOverhead Time
+
+	busy      bool
+	curLowPri bool
+	curEnd    *Event
+	curDone   func()
+	curFinish Time
+
+	suspended *suspendedOp
+	hiQueue   []*pendingOp
+	loQueue   []*pendingOp
+
+	preemptions uint64
+	busyTime    Time
+	curStart    Time
+}
+
+type pendingOp struct {
+	d      Time
+	done   func()
+	lowPri bool
+}
+
+type suspendedOp struct {
+	remaining Time
+	done      func()
+}
+
+// NewPreemptible builds the resource.
+func NewPreemptible(eng *Engine, name string, resumeOverhead Time) *Preemptible {
+	if resumeOverhead < 0 {
+		panic(fmt.Sprintf("sim: resume overhead %d", resumeOverhead))
+	}
+	return &Preemptible{eng: eng, name: name, ResumeOverhead: resumeOverhead}
+}
+
+// Preemptions returns how many suspends occurred.
+func (p *Preemptible) Preemptions() uint64 { return p.preemptions }
+
+// Busy reports whether an operation is executing right now.
+func (p *Preemptible) Busy() bool { return p.busy }
+
+// Use runs a preemptible (low-priority) operation of duration d, then done.
+func (p *Preemptible) Use(d Time, done func()) {
+	p.submit(&pendingOp{d: d, done: done, lowPri: true})
+}
+
+// UsePriority runs a high-priority operation of duration d, suspending the
+// current low-priority occupant if necessary, then done.
+func (p *Preemptible) UsePriority(d Time, done func()) {
+	p.submit(&pendingOp{d: d, done: done, lowPri: false})
+}
+
+func (p *Preemptible) submit(op *pendingOp) {
+	if !op.lowPri && p.busy && p.curLowPri {
+		p.suspendCurrent()
+	}
+	if p.busy {
+		if op.lowPri {
+			p.loQueue = append(p.loQueue, op)
+		} else {
+			p.hiQueue = append(p.hiQueue, op)
+		}
+		return
+	}
+	p.start(op.d, op.done, op.lowPri)
+}
+
+func (p *Preemptible) suspendCurrent() {
+	remaining := p.curFinish - p.eng.Now()
+	if remaining < 0 {
+		remaining = 0
+	}
+	p.busyTime += p.eng.Now() - p.curStart
+	p.eng.Cancel(p.curEnd)
+	p.suspended = &suspendedOp{remaining: remaining, done: p.curDone}
+	p.preemptions++
+	p.busy = false
+	p.curEnd = nil
+	p.curDone = nil
+}
+
+func (p *Preemptible) start(d Time, done func(), lowPri bool) {
+	p.busy = true
+	p.curLowPri = lowPri
+	p.curDone = done
+	p.curStart = p.eng.Now()
+	p.curFinish = p.eng.Now() + d
+	p.curEnd = p.eng.Schedule(d, func() {
+		p.busy = false
+		p.curEnd = nil
+		p.curDone = nil
+		p.busyTime += p.eng.Now() - p.curStart
+		if done != nil {
+			done()
+		}
+		p.dispatch()
+	})
+}
+
+// dispatch picks the next work item: high-priority queue, then the
+// suspended operation, then the low-priority queue.
+func (p *Preemptible) dispatch() {
+	if p.busy {
+		return
+	}
+	if len(p.hiQueue) > 0 {
+		op := p.hiQueue[0]
+		p.hiQueue = p.hiQueue[1:]
+		p.start(op.d, op.done, false)
+		return
+	}
+	if s := p.suspended; s != nil {
+		p.suspended = nil
+		p.start(s.remaining+p.ResumeOverhead, s.done, true)
+		return
+	}
+	if len(p.loQueue) > 0 {
+		op := p.loQueue[0]
+		p.loQueue = p.loQueue[1:]
+		p.start(op.d, op.done, true)
+	}
+}
+
+// Utilization returns the busy fraction since simulation start.
+func (p *Preemptible) Utilization() float64 {
+	now := p.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	total := p.busyTime
+	if p.busy {
+		total += now - p.curStart
+	}
+	return float64(total) / float64(now)
+}

@@ -1,0 +1,123 @@
+package sim
+
+import "fmt"
+
+// Resource models a server (or pool of identical servers) with a FIFO
+// request queue: a NAND plane, a channel bus, a DMA engine, a PCIe link.
+// Requests acquire one unit of capacity, hold it for a caller-determined
+// duration, and release it; waiting requests are granted strictly in
+// arrival order, which keeps simulations deterministic.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []func()
+
+	// Utilisation accounting.
+	busyTime   Time // integral of inUse over time, in unit-nanoseconds
+	lastChange Time
+	grants     uint64
+	peakQueue  int
+}
+
+// NewResource creates a resource with the given capacity (number of
+// identical servers). Capacity must be positive.
+func NewResource(eng *Engine, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q capacity %d", name, capacity))
+	}
+	return &Resource{eng: eng, name: name, capacity: capacity}
+}
+
+// Name returns the diagnostic name given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the number of servers.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of requests waiting for a unit.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Grants returns how many acquisitions have been granted in total.
+func (r *Resource) Grants() uint64 { return r.grants }
+
+func (r *Resource) account() {
+	now := r.eng.Now()
+	r.busyTime += Time(r.inUse) * (now - r.lastChange)
+	r.lastChange = now
+}
+
+// Utilization returns the mean fraction of capacity that was busy between
+// simulation start and the current time. Returns 0 before time advances.
+func (r *Resource) Utilization() float64 {
+	now := r.eng.Now()
+	total := r.busyTime + Time(r.inUse)*(now-r.lastChange)
+	if now == 0 {
+		return 0
+	}
+	return float64(total) / (float64(now) * float64(r.capacity))
+}
+
+// Acquire requests one unit. When a unit is available — immediately, or
+// once earlier requests release — granted is invoked with a release
+// function that must be called exactly once. The grant happens
+// synchronously when capacity is free, so callers must not assume a
+// simulated-time delay.
+func (r *Resource) Acquire(granted func(release func())) {
+	grant := func() {
+		r.account()
+		r.inUse++
+		r.grants++
+		released := false
+		granted(func() {
+			if released {
+				panic(fmt.Sprintf("sim: double release of %q", r.name))
+			}
+			released = true
+			r.release()
+		})
+	}
+	if r.inUse < r.capacity {
+		grant()
+		return
+	}
+	r.waiters = append(r.waiters, grant)
+	if len(r.waiters) > r.peakQueue {
+		r.peakQueue = len(r.waiters)
+	}
+}
+
+func (r *Resource) release() {
+	r.account()
+	r.inUse--
+	if r.inUse < 0 {
+		panic(fmt.Sprintf("sim: resource %q released below zero", r.name))
+	}
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		next()
+	}
+}
+
+// Use is the common acquire–hold–release pattern: wait for a unit, hold it
+// for d nanoseconds of simulated time, then release and call done (which
+// may be nil). It returns immediately; everything happens via events.
+func (r *Resource) Use(d Time, done func()) {
+	r.Acquire(func(release func()) {
+		r.eng.Schedule(d, func() {
+			release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// PeakQueue returns the maximum number of simultaneously waiting requests
+// observed.
+func (r *Resource) PeakQueue() int { return r.peakQueue }

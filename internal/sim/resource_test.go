@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "bus", 1)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		r.Use(100, func() { ends = append(ends, e.Now()) })
+	}
+	e.Run()
+	want := []Time{100, 200, 300}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestResourceParallelCapacity(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "planes", 4)
+	var ends []Time
+	for i := 0; i < 8; i++ {
+		r.Use(50, func() { ends = append(ends, e.Now()) })
+	}
+	e.Run()
+	// Two waves of four.
+	for i, want := range []Time{50, 50, 50, 50, 100, 100, 100, 100} {
+		if ends[i] != want {
+			t.Fatalf("ends = %v", ends)
+		}
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "r", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		r.Use(10, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("grant order %v not FIFO", order)
+		}
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "r", 1)
+	r.Use(100, nil)
+	// Idle 100ns afterwards.
+	e.Schedule(200, func() {})
+	e.Run()
+	if u := r.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestResourceDoubleReleasePanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "r", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	r.Acquire(func(release func()) {
+		release()
+		release()
+	})
+}
+
+func TestResourceZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	NewResource(NewEngine(), "bad", 0)
+}
+
+func TestResourceCounters(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "r", 1)
+	for i := 0; i < 3; i++ {
+		r.Use(10, nil)
+	}
+	if r.QueueLen() != 2 {
+		t.Fatalf("queue = %d, want 2", r.QueueLen())
+	}
+	if r.PeakQueue() != 2 {
+		t.Fatalf("peak = %d", r.PeakQueue())
+	}
+	e.Run()
+	if r.Grants() != 3 {
+		t.Fatalf("grants = %d", r.Grants())
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("inUse = %d after drain", r.InUse())
+	}
+	if r.Name() != "r" || r.Capacity() != 1 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	fired := false
+	c := NewCounter(2, func() { fired = true })
+	c.Done()
+	if fired {
+		t.Fatal("fired early")
+	}
+	c.Done()
+	if !fired {
+		t.Fatal("did not fire")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Done below zero did not panic")
+		}
+	}()
+	c.Done()
+}
+
+func TestCounterArmZero(t *testing.T) {
+	fired := false
+	c := NewCounter(0, func() { fired = true })
+	c.Arm()
+	if !fired {
+		t.Fatal("Arm with zero outstanding did not fire")
+	}
+}
+
+func TestCounterAdd(t *testing.T) {
+	fired := false
+	c := NewCounter(1, func() { fired = true })
+	c.Add(1)
+	c.Done()
+	if fired || c.Remaining() != 1 {
+		t.Fatalf("fired=%v remaining=%d", fired, c.Remaining())
+	}
+	c.Done()
+	if !fired {
+		t.Fatal("did not fire after Add accounted")
+	}
+}
+
+func TestChain(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	Chain(func() { got = append(got, "done") },
+		func(next func()) { e.Schedule(10, func() { got = append(got, "a"); next() }) },
+		func(next func()) { e.Schedule(10, func() { got = append(got, "b"); next() }) },
+		func(next func()) { got = append(got, "c"); next() },
+	)
+	e.Run()
+	want := []string{"a", "b", "c", "done"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Fatalf("chain stages did not run sequentially: t=%d", e.Now())
+	}
+}
+
+func TestChainEmpty(t *testing.T) {
+	done := false
+	Chain(func() { done = true })
+	if !done {
+		t.Fatal("empty chain did not complete")
+	}
+}
+
+func TestForkJoin(t *testing.T) {
+	e := NewEngine()
+	var doneAt Time = -1
+	ForkJoin(func() { doneAt = e.Now() },
+		func(next func()) { e.Schedule(10, next) },
+		func(next func()) { e.Schedule(30, next) },
+		func(next func()) { e.Schedule(20, next) },
+	)
+	e.Run()
+	if doneAt != 30 {
+		t.Fatalf("join at %d, want 30 (max of branches)", doneAt)
+	}
+}
+
+func TestForkJoinEmpty(t *testing.T) {
+	done := false
+	ForkJoin(func() { done = true })
+	if !done {
+		t.Fatal("empty fork-join did not complete")
+	}
+}

@@ -1,0 +1,432 @@
+package ssd
+
+import (
+	"fmt"
+
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// Stats is a snapshot of device activity counters.
+type Stats struct {
+	HostReads       uint64 // external page reads completed
+	HostWrites      uint64 // external page writes completed
+	UpdateReads     uint64 // in-storage array reads (no bus)
+	UpdateWrites    uint64 // in-storage array programs (no bus)
+	GCRelocations   uint64 // valid pages moved by GC
+	GCErases        uint64 // blocks erased by GC
+	RecoveredErrors uint64 // uncorrectable reads recovered by read-retry
+	CacheHits       uint64 // reads served from the DRAM write cache
+	WAF             float64
+}
+
+// Device is the SSD controller: it owns the NAND channels, the FTL, the
+// DRAM write cache, and garbage collection. All I/O methods are
+// asynchronous (callback on completion) and run on the shared sim.Engine.
+//
+// Two families of operations exist:
+//
+//   - the external path (Read/Write): NVMe command overhead, DRAM cache,
+//     channel-bus transfers — what a host-offload baseline uses;
+//   - the internal path (ReadMapped/ProgramUpdate): array-only operations
+//     used by in-storage compute, which never touch the channel bus.
+type Device struct {
+	eng      *sim.Engine
+	cfg      Config
+	geo      Geometry
+	channels []*nand.Channel
+	ftl      *FTL
+
+	cacheSlots *sim.Resource
+	planeFor   func(lpa int64) int
+
+	gcActive      []bool
+	planeInflight []int      // permits issued but not yet allocated, per plane
+	pending       [][]func() // writers waiting for reclaimable space, per plane
+
+	// dirty counts cache-resident (not yet flushed) copies per logical
+	// page: reads of these are served from DRAM.
+	dirty     map[int64]int
+	cacheHits uint64
+
+	// Failure injection: pending uncorrectable-read counts per logical
+	// page, consumed by read-retry recovery.
+	injectedReadErrs map[int64]int
+	recoveredErrors  uint64
+
+	// commitHook, when set, observes every mapping commit — the data-plane
+	// shadow integration tests use to verify content integrity across GC
+	// and log-structured remapping. oldLin is -1 for first writes.
+	commitHook func(lpa, oldLin, newLin int64, gc bool)
+
+	outstanding  int
+	drainWaiters []func()
+
+	hostReads, hostWrites     uint64
+	updateReads, updateWrites uint64
+	gcRelocations, gcErases   uint64
+}
+
+// NewDevice builds a device; invalid configuration panics at construction.
+func NewDevice(eng *sim.Engine, cfg Config) *Device {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	geo := cfg.Geometry()
+	d := &Device{
+		eng:           eng,
+		cfg:           cfg,
+		geo:           geo,
+		ftl:           NewFTL(geo, cfg.LogicalPages()),
+		cacheSlots:    sim.NewResource(eng, "ssd/cache", cfg.CachePages),
+		gcActive:      make([]bool, geo.Planes()),
+		planeInflight: make([]int, geo.Planes()),
+		pending:       make([][]func(), geo.Planes()),
+		dirty:         make(map[int64]int),
+	}
+	d.planeFor = func(lpa int64) int { return int(lpa % int64(geo.Planes())) }
+	for ch := 0; ch < cfg.Channels; ch++ {
+		d.channels = append(d.channels,
+			nand.NewChannel(eng, fmt.Sprintf("ch%d", ch), cfg.Nand, cfg.DiesPerChannel))
+	}
+	return d
+}
+
+// Engine returns the simulation engine the device runs on.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() Geometry { return d.geo }
+
+// FTL exposes the translation layer (read-only use expected).
+func (d *Device) FTL() *FTL { return d.ftl }
+
+// Channel returns channel ch.
+func (d *Device) Channel(ch int) *nand.Channel { return d.channels[ch] }
+
+// Die returns the die at (ch, die).
+func (d *Device) Die(ch, die int) *nand.Die { return d.channels[ch].Die(die) }
+
+// SetCommitHook installs an observer invoked synchronously at every
+// mapping commit (host write, in-storage update, GC relocation, preload).
+// Tests use it to mirror page contents across physical moves.
+func (d *Device) SetCommitHook(fn func(lpa, oldLin, newLin int64, gc bool)) {
+	d.commitHook = fn
+}
+
+// commit binds lpa to ppa and notifies the hook with the displaced
+// physical page.
+func (d *Device) commit(lpa int64, ppa PPA, gc bool) {
+	oldLin := int64(-1)
+	if old, ok := d.ftl.Lookup(lpa); ok {
+		oldLin = d.geo.Linear(old)
+	}
+	d.ftl.CommitWrite(lpa, ppa, gc)
+	if d.commitHook != nil {
+		d.commitHook(lpa, oldLin, d.geo.Linear(ppa), gc)
+	}
+}
+
+// SetPlaneMapper replaces the logical-page → plane placement function used
+// for first writes (the layout engine provides these). Existing mappings
+// are unaffected; pages stay in their plane across updates.
+func (d *Device) SetPlaneMapper(fn func(lpa int64) int) { d.planeFor = fn }
+
+// PlaneOf returns the plane a logical page is (or would be) placed on.
+func (d *Device) PlaneOf(lpa int64) int {
+	if ppa, ok := d.ftl.Lookup(lpa); ok {
+		return d.geo.PlaneOf(ppa)
+	}
+	return d.planeFor(lpa)
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		HostReads:       d.hostReads,
+		HostWrites:      d.hostWrites,
+		UpdateReads:     d.updateReads,
+		UpdateWrites:    d.updateWrites,
+		GCRelocations:   d.gcRelocations,
+		GCErases:        d.gcErases,
+		RecoveredErrors: d.recoveredErrors,
+		CacheHits:       d.cacheHits,
+		WAF:             d.ftl.WAF(),
+	}
+}
+
+// MaxEraseCount returns the highest per-block P/E count on the device.
+func (d *Device) MaxEraseCount() int {
+	max := 0
+	for _, ch := range d.channels {
+		for _, die := range ch.Dies() {
+			if n := die.MaxEraseCount(); n > max {
+				max = n
+			}
+		}
+	}
+	return max
+}
+
+// Counts aggregates NAND operation tallies across all dies.
+func (d *Device) Counts() nand.OpCounts {
+	var total nand.OpCounts
+	for _, ch := range d.channels {
+		total.Add(ch.Counts())
+	}
+	return total
+}
+
+func (d *Device) opStart() { d.outstanding++ }
+
+func (d *Device) opDone() {
+	d.outstanding--
+	if d.outstanding < 0 {
+		panic("ssd: outstanding below zero")
+	}
+	if d.outstanding == 0 {
+		waiters := d.drainWaiters
+		d.drainWaiters = nil
+		for _, w := range waiters {
+			w()
+		}
+	}
+}
+
+// Drain invokes done once every outstanding operation (including GC)
+// completes.
+func (d *Device) Drain(done func()) {
+	if d.outstanding == 0 {
+		done()
+		return
+	}
+	d.drainWaiters = append(d.drainWaiters, done)
+}
+
+// Preload installs a mapping for lpa without consuming simulated time,
+// modelling a pre-conditioned drive. Used by harnesses to set up steady
+// state before measurement.
+func (d *Device) Preload(lpa int64) {
+	plane := d.planeFor(lpa)
+	if !d.ftl.CanAlloc(plane) {
+		panic(fmt.Sprintf("ssd: preload exhausted plane %d", plane))
+	}
+	ppa := d.ftl.AllocPage(plane)
+	d.commit(lpa, ppa, false)
+	d.Die(ppa.Channel, ppa.Die).MarkProgrammed(ppa.Addr)
+}
+
+// hostCanWrite reports whether a new allocation on the plane can be
+// permitted while keeping one full block in reserve for GC relocation.
+func (d *Device) hostCanWrite(plane int) bool {
+	reserve := d.geo.PagesPerBlock // one block for GC
+	return d.ftl.AvailablePages(plane)-d.planeInflight[plane] > reserve
+}
+
+// whenWritable runs fn now if the plane has safe allocation headroom, or
+// queues it until GC reclaims space. fn holds one in-flight permit, which
+// transfers to the allocation it will perform.
+func (d *Device) whenWritable(plane int, fn func()) {
+	if d.hostCanWrite(plane) && len(d.pending[plane]) == 0 {
+		d.planeInflight[plane]++
+		fn()
+		return
+	}
+	d.pending[plane] = append(d.pending[plane], fn)
+	d.maybeGC(plane)
+}
+
+func (d *Device) drainPending(plane int) {
+	for len(d.pending[plane]) > 0 && d.hostCanWrite(plane) {
+		fn := d.pending[plane][0]
+		d.pending[plane] = d.pending[plane][1:]
+		d.planeInflight[plane]++
+		fn()
+	}
+}
+
+// Read performs an external page read of lpa: NVMe command overhead, array
+// read, channel-bus transfer out. Reading an unmapped page panics (the
+// harness always writes before reading).
+func (d *Device) Read(lpa int64, done func()) {
+	d.opStart()
+	d.eng.Schedule(d.cfg.CmdLatency, func() {
+		// Cache-resident dirty data is served from DRAM — the freshest copy
+		// is not on NAND yet.
+		if d.dirty[lpa] > 0 {
+			d.eng.Schedule(d.cfg.DRAMPageLatency, func() {
+				d.cacheHits++
+				d.hostReads++
+				d.opDone()
+				if done != nil {
+					done()
+				}
+			})
+			return
+		}
+		ppa, ok := d.ftl.Lookup(lpa)
+		if !ok {
+			panic(fmt.Sprintf("ssd: read of unmapped lpa %d", lpa))
+		}
+		d.arrayReadRecovered(lpa, ppa, func() {
+			d.channels[ppa.Channel].TransferOut(ppa.Die, d.geo.PageSize, func() {
+				d.hostReads++
+				d.opDone()
+				if done != nil {
+					done()
+				}
+			})
+		})
+	})
+}
+
+// Write performs an external page write of lpa through the DRAM cache:
+// done fires when the page is absorbed in DRAM (host completion); the
+// NAND program continues in the background with backpressure via the
+// cache slot pool.
+func (d *Device) Write(lpa int64, done func()) {
+	d.opStart()
+	d.eng.Schedule(d.cfg.CmdLatency, func() {
+		d.cacheSlots.Acquire(func(release func()) {
+			d.eng.Schedule(d.cfg.DRAMPageLatency, func() {
+				d.dirty[lpa]++
+				if done != nil {
+					done()
+				}
+				plane := d.planeFor(lpa)
+				d.whenWritable(plane, func() { d.flush(lpa, plane, release) })
+			})
+		})
+	})
+}
+
+// flush moves one cached page to NAND: bus transfer to the die, then
+// allocate-and-program (adjacent, to keep plane write pointers coherent).
+func (d *Device) flush(lpa int64, plane int, release func()) {
+	ch, die, _ := d.geo.PlaneLoc(plane)
+	chan_ := d.channels[ch]
+	chan_.TransferIn(die, d.geo.PageSize, func() {
+		ppa := d.ftl.AllocPage(plane)
+		d.planeInflight[plane]--
+		d.commit(lpa, ppa, false)
+		chan_.Die(die).Program(ppa.Addr, func() {
+			d.hostWrites++
+			if d.dirty[lpa] > 1 {
+				d.dirty[lpa]--
+			} else {
+				delete(d.dirty, lpa)
+			}
+			release()
+			d.maybeGC(plane)
+			d.opDone()
+		})
+	})
+}
+
+// Trim invalidates a logical page.
+func (d *Device) Trim(lpa int64) { d.ftl.Invalidate(lpa) }
+
+// ReadMapped performs an internal array read (no bus transfer) of the page
+// currently backing lpa — the first phase of an in-storage update.
+func (d *Device) ReadMapped(lpa int64, done func()) {
+	ppa, ok := d.ftl.Lookup(lpa)
+	if !ok {
+		panic(fmt.Sprintf("ssd: internal read of unmapped lpa %d", lpa))
+	}
+	d.opStart()
+	d.updateReads++
+	d.arrayReadRecovered(lpa, ppa, func() {
+		d.opDone()
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// InjectReadErrors arranges for the next n reads of lpa to come back
+// uncorrectable, forcing read-retry recovery. Failure-injection hook for
+// tests and reliability studies.
+func (d *Device) InjectReadErrors(lpa int64, n int) {
+	if d.injectedReadErrs == nil {
+		d.injectedReadErrs = map[int64]int{}
+	}
+	d.injectedReadErrs[lpa] += n
+}
+
+// readRetryFactor is the array-time multiple one read-retry recovery pass
+// costs (threshold-shifted re-reads until ECC converges).
+const readRetryFactor = 3
+
+// arrayReadRecovered performs the array read of lpa's page, transparently
+// absorbing injected uncorrectable errors with read-retry: each pending
+// error costs an extra readRetryFactor × tR of plane time.
+func (d *Device) arrayReadRecovered(lpa int64, ppa PPA, done func()) {
+	die := d.Die(ppa.Channel, ppa.Die)
+	die.Read(ppa.Addr, func() {
+		if d.injectedReadErrs[lpa] > 0 {
+			d.injectedReadErrs[lpa]--
+			d.recoveredErrors++
+			retry := readRetryFactor * d.cfg.Nand.ReadLatency
+			// Occupy the plane for the recovery passes, then re-check (in
+			// case more errors were injected).
+			die.Occupy(ppa.Addr, retry, func() {
+				d.arrayReadRecovered(lpa, ppa, done)
+			})
+			return
+		}
+		done()
+	})
+}
+
+// ProgramUpdate programs updated data for lpa into a fresh page in the
+// same plane as its current mapping (array program only — the data comes
+// from the on-die compute unit's buffer) and remaps the page. The old page
+// becomes garbage for GC to reclaim.
+func (d *Device) ProgramUpdate(lpa int64, done func()) {
+	old, ok := d.ftl.Lookup(lpa)
+	if !ok {
+		panic(fmt.Sprintf("ssd: update of unmapped lpa %d", lpa))
+	}
+	plane := d.geo.PlaneOf(old)
+	d.opStart()
+	d.whenWritable(plane, func() {
+		ppa := d.ftl.AllocPage(plane)
+		d.planeInflight[plane]--
+		d.commit(lpa, ppa, false)
+		d.updateWrites++
+		d.Die(ppa.Channel, ppa.Die).Program(ppa.Addr, func() {
+			d.maybeGC(plane)
+			d.opDone()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// TransferToDie models moving n bytes from the controller to a die's
+// compute buffer over the channel bus (gradient delivery).
+func (d *Device) TransferToDie(ch, die, n int, done func()) {
+	d.opStart()
+	d.channels[ch].TransferIn(die, n, func() {
+		d.opDone()
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// TransferFromDie models moving n bytes from a die's compute buffer to the
+// controller over the channel bus (low-precision weights out).
+func (d *Device) TransferFromDie(ch, die, n int, done func()) {
+	d.opStart()
+	d.channels[ch].TransferOut(die, n, func() {
+		d.opDone()
+		if done != nil {
+			done()
+		}
+	})
+}

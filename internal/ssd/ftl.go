@@ -1,0 +1,353 @@
+package ssd
+
+import (
+	"fmt"
+)
+
+const unmapped = int64(-1)
+
+// FTL is a page-level log-structured flash translation layer. It owns the
+// logical→physical map, per-plane write frontiers, per-block valid counts,
+// and the bookkeeping half of garbage collection. It performs no simulated
+// I/O itself — the Device drives NAND timing and calls in here for
+// allocation and mapping decisions, so the FTL is directly unit-testable.
+type FTL struct {
+	geo          Geometry
+	logicalPages int64
+
+	l2p        []int64 // logical page -> linear PPA, or unmapped
+	p2l        []int64 // linear PPA -> logical page, or unmapped (free/stale)
+	validCount []int32 // valid pages per global block
+	erases     []int32 // P/E cycles per global block (FTL's own tally)
+
+	planes []planeAlloc
+
+	// Write-amplification accounting.
+	hostProgrammed uint64
+	gcProgrammed   uint64
+}
+
+// Stream tags an allocation with its data temperature so the FTL can keep
+// hot (freshly written, soon re-invalidated) and cold (GC-relocated,
+// long-lived) pages in separate blocks — the standard hot/cold separation
+// that keeps victim blocks either mostly stale or mostly valid instead of
+// an expensive mix.
+type Stream int
+
+// Allocation streams.
+const (
+	HotStream  Stream = 0 // host writes and in-storage updates
+	ColdStream Stream = 1 // GC relocations
+)
+
+// planeAlloc is the allocation state of one plane: a FIFO of erased blocks,
+// per-stream open blocks being filled, and full blocks awaiting GC.
+type planeAlloc struct {
+	free []int32  // erased, ready to open
+	open [2]int32 // filling, per stream; -1 when none
+	next [2]int   // next page within open, per stream
+	full []int32  // completely written blocks
+}
+
+// NewFTL builds an FTL over the geometry exposing logicalPages of capacity.
+func NewFTL(geo Geometry, logicalPages int64) *FTL {
+	total := geo.TotalPages()
+	if logicalPages <= 0 || logicalPages > total {
+		panic(fmt.Sprintf("ssd: logical pages %d vs physical %d", logicalPages, total))
+	}
+	f := &FTL{
+		geo:          geo,
+		logicalPages: logicalPages,
+		l2p:          make([]int64, logicalPages),
+		p2l:          make([]int64, total),
+		validCount:   make([]int32, geo.BlocksTotal()),
+		erases:       make([]int32, geo.BlocksTotal()),
+		planes:       make([]planeAlloc, geo.Planes()),
+	}
+	for i := range f.l2p {
+		f.l2p[i] = unmapped
+	}
+	for i := range f.p2l {
+		f.p2l[i] = unmapped
+	}
+	for p := range f.planes {
+		pa := &f.planes[p]
+		pa.open[HotStream] = -1
+		pa.open[ColdStream] = -1
+		pa.free = make([]int32, geo.BlocksPerPlane)
+		for b := range pa.free {
+			pa.free[b] = int32(b)
+		}
+	}
+	return f
+}
+
+// Geometry returns the device geometry.
+func (f *FTL) Geometry() Geometry { return f.geo }
+
+// LogicalPages returns the exposed capacity in pages.
+func (f *FTL) LogicalPages() int64 { return f.logicalPages }
+
+// Lookup translates a logical page; ok is false when the page was never
+// written (or was trimmed).
+func (f *FTL) Lookup(lpa int64) (PPA, bool) {
+	f.checkLPA(lpa)
+	lin := f.l2p[lpa]
+	if lin == unmapped {
+		return PPA{}, false
+	}
+	return f.geo.FromLinear(lin), true
+}
+
+func (f *FTL) checkLPA(lpa int64) {
+	if lpa < 0 || lpa >= f.logicalPages {
+		panic(fmt.Sprintf("ssd: lpa %d outside logical capacity %d", lpa, f.logicalPages))
+	}
+}
+
+// FreeBlocks returns the number of erased blocks available in a plane.
+func (f *FTL) FreeBlocks(planeIdx int) int { return len(f.planes[planeIdx].free) }
+
+// AvailablePages returns the number of pages that can still be allocated
+// in the plane without reclaiming space: the remainders of the open blocks
+// plus all free blocks.
+func (f *FTL) AvailablePages(planeIdx int) int {
+	pa := &f.planes[planeIdx]
+	n := len(pa.free) * f.geo.PagesPerBlock
+	for s := range pa.open {
+		if pa.open[s] >= 0 {
+			n += f.geo.PagesPerBlock - pa.next[s]
+		}
+	}
+	return n
+}
+
+// CanAlloc reports whether AllocPage on the plane would succeed for the
+// hot stream.
+func (f *FTL) CanAlloc(planeIdx int) bool {
+	pa := &f.planes[planeIdx]
+	return pa.open[HotStream] >= 0 || len(pa.free) > 0
+}
+
+// AllocPage claims the next hot-stream page of the plane's write frontier.
+// It panics when the plane has no open or free block — the Device must
+// garbage collect (or backpressure) before exhaustion, checked via
+// CanAlloc.
+func (f *FTL) AllocPage(planeIdx int) PPA {
+	return f.AllocPageStream(planeIdx, HotStream)
+}
+
+// AllocPageStream claims the next page of the given stream's write
+// frontier. Keeping GC relocations (cold) out of the host/update (hot)
+// blocks is the hot/cold separation that stops victim blocks from mixing
+// long-lived and short-lived pages. A cold-stream allocation falls back to
+// the hot open block when no free block exists to open.
+func (f *FTL) AllocPageStream(planeIdx int, stream Stream) PPA {
+	pa := &f.planes[planeIdx]
+	s := int(stream)
+	if pa.open[s] < 0 {
+		if len(pa.free) == 0 {
+			// Cold stream may borrow the hot open block rather than wedge.
+			if stream == ColdStream && pa.open[HotStream] >= 0 {
+				s = int(HotStream)
+			} else {
+				panic(fmt.Sprintf("ssd: plane %d out of blocks", planeIdx))
+			}
+		} else {
+			// Wear-aware selection: open the least-erased free block (ties
+			// to the lowest block id, keeping runs deterministic). This is
+			// the dynamic half of wear levelling.
+			base := planeIdx * f.geo.BlocksPerPlane
+			best := 0
+			for i := 1; i < len(pa.free); i++ {
+				if f.erases[base+int(pa.free[i])] < f.erases[base+int(pa.free[best])] {
+					best = i
+				}
+			}
+			pa.open[s] = pa.free[best]
+			pa.free = append(pa.free[:best], pa.free[best+1:]...)
+			pa.next[s] = 0
+		}
+	}
+	ch, die, plane := f.geo.PlaneLoc(planeIdx)
+	ppa := PPA{Channel: ch, Die: die}
+	ppa.Plane = plane
+	ppa.Block = int(pa.open[s])
+	ppa.Page = pa.next[s]
+	pa.next[s]++
+	if pa.next[s] == f.geo.PagesPerBlock {
+		pa.full = append(pa.full, pa.open[s])
+		pa.open[s] = -1
+	}
+	return ppa
+}
+
+// CommitWrite binds lpa to a freshly allocated ppa, invalidating any prior
+// mapping. Host writes and GC relocations are tallied separately for
+// write-amplification reporting.
+func (f *FTL) CommitWrite(lpa int64, ppa PPA, gc bool) {
+	f.checkLPA(lpa)
+	lin := f.geo.Linear(ppa)
+	if f.p2l[lin] != unmapped {
+		panic(fmt.Sprintf("ssd: commit to already-valid page %v", ppa))
+	}
+	if old := f.l2p[lpa]; old != unmapped {
+		f.p2l[old] = unmapped
+		f.validCount[f.geo.BlockIndex(f.geo.FromLinear(old))]--
+	}
+	f.l2p[lpa] = lin
+	f.p2l[lin] = lpa
+	f.validCount[f.geo.BlockIndex(ppa)]++
+	if gc {
+		f.gcProgrammed++
+	} else {
+		f.hostProgrammed++
+	}
+}
+
+// Invalidate trims a logical page, dropping its mapping if present.
+func (f *FTL) Invalidate(lpa int64) {
+	f.checkLPA(lpa)
+	if old := f.l2p[lpa]; old != unmapped {
+		f.p2l[old] = unmapped
+		f.validCount[f.geo.BlockIndex(f.geo.FromLinear(old))]--
+		f.l2p[lpa] = unmapped
+	}
+}
+
+// PickVictim removes and returns the full block with the fewest valid
+// pages in the plane (greedy policy). ok is false when no full block
+// exists or every full block is entirely valid — erasing an all-valid
+// block reclaims nothing and would make GC churn forever.
+func (f *FTL) PickVictim(planeIdx int) (block int, ok bool) {
+	pa := &f.planes[planeIdx]
+	if len(pa.full) == 0 {
+		return 0, false
+	}
+	base := planeIdx * f.geo.BlocksPerPlane
+	best := 0
+	for i := 1; i < len(pa.full); i++ {
+		if f.validCount[base+int(pa.full[i])] < f.validCount[base+int(pa.full[best])] {
+			best = i
+		}
+	}
+	if int(f.validCount[base+int(pa.full[best])]) == f.geo.PagesPerBlock {
+		return 0, false
+	}
+	b := pa.full[best]
+	pa.full = append(pa.full[:best], pa.full[best+1:]...)
+	return int(b), true
+}
+
+// ValidLPAs returns the logical pages still valid in a plane's block, in
+// physical page order — the relocation work list for GC.
+func (f *FTL) ValidLPAs(planeIdx, block int) []int64 {
+	blockGlobal := planeIdx*f.geo.BlocksPerPlane + block
+	start := int64(blockGlobal) * int64(f.geo.PagesPerBlock)
+	var lpas []int64
+	for p := 0; p < f.geo.PagesPerBlock; p++ {
+		if lpa := f.p2l[start+int64(p)]; lpa != unmapped {
+			lpas = append(lpas, lpa)
+		}
+	}
+	return lpas
+}
+
+// ValidCount returns the number of valid pages in a plane's block.
+func (f *FTL) ValidCount(planeIdx, block int) int {
+	return int(f.validCount[planeIdx*f.geo.BlocksPerPlane+block])
+}
+
+// OnErased returns a block to the plane's free pool after the Device has
+// erased it. The block must hold no valid pages.
+func (f *FTL) OnErased(planeIdx, block int) {
+	if n := f.ValidCount(planeIdx, block); n != 0 {
+		panic(fmt.Sprintf("ssd: erasing block %d/%d with %d valid pages", planeIdx, block, n))
+	}
+	// Drop stale reverse mappings for the erased block.
+	blockGlobal := planeIdx*f.geo.BlocksPerPlane + block
+	start := int64(blockGlobal) * int64(f.geo.PagesPerBlock)
+	for p := 0; p < f.geo.PagesPerBlock; p++ {
+		f.p2l[start+int64(p)] = unmapped
+	}
+	f.erases[blockGlobal]++
+	f.planes[planeIdx].free = append(f.planes[planeIdx].free, int32(block))
+}
+
+// BlockErases returns the FTL's P/E tally for a plane's block.
+func (f *FTL) BlockErases(planeIdx, block int) int {
+	return int(f.erases[planeIdx*f.geo.BlocksPerPlane+block])
+}
+
+// WearSpread returns the min and max P/E count across a plane's blocks —
+// the quantity wear levelling exists to bound.
+func (f *FTL) WearSpread(planeIdx int) (min, max int) {
+	base := planeIdx * f.geo.BlocksPerPlane
+	min = int(f.erases[base])
+	max = min
+	for b := 1; b < f.geo.BlocksPerPlane; b++ {
+		e := int(f.erases[base+b])
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	return min, max
+}
+
+// HostProgrammed and GCProgrammed return the page-program tallies; their
+// ratio is the write-amplification factor.
+func (f *FTL) HostProgrammed() uint64 { return f.hostProgrammed }
+
+// GCProgrammed returns the relocation program count.
+func (f *FTL) GCProgrammed() uint64 { return f.gcProgrammed }
+
+// WAF returns the write-amplification factor (total programs per host
+// program), or 1 before any host write.
+func (f *FTL) WAF() float64 {
+	if f.hostProgrammed == 0 {
+		return 1
+	}
+	return float64(f.hostProgrammed+f.gcProgrammed) / float64(f.hostProgrammed)
+}
+
+// CheckConsistent verifies the FTL invariants: l2p/p2l are inverse
+// bijections on mapped pages and validCount matches the reverse map. Used
+// by property tests; O(total pages).
+func (f *FTL) CheckConsistent() error {
+	counts := make([]int32, len(f.validCount))
+	for lin, lpa := range f.p2l {
+		if lpa == unmapped {
+			continue
+		}
+		if lpa < 0 || lpa >= f.logicalPages {
+			return fmt.Errorf("p2l[%d] = %d out of range", lin, lpa)
+		}
+		if f.l2p[lpa] != int64(lin) {
+			return fmt.Errorf("p2l[%d]=%d but l2p[%d]=%d", lin, lpa, lpa, f.l2p[lpa])
+		}
+		counts[f.geo.BlockIndex(f.geo.FromLinear(int64(lin)))]++
+	}
+	for lpa, lin := range f.l2p {
+		if lin == unmapped {
+			continue
+		}
+		if f.p2l[lin] != int64(lpa) {
+			return fmt.Errorf("l2p[%d]=%d but p2l[%d]=%d", lpa, lin, lin, f.p2l[lin])
+		}
+	}
+	for b := range counts {
+		if counts[b] != f.validCount[b] {
+			return fmt.Errorf("block %d validCount %d, recount %d", b, f.validCount[b], counts[b])
+		}
+	}
+	return nil
+}
+
+// HasFullBlock reports whether the plane has at least one completely
+// written block (a GC candidate).
+func (f *FTL) HasFullBlock(planeIdx int) bool {
+	return len(f.planes[planeIdx].full) > 0
+}

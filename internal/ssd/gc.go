@@ -1,0 +1,101 @@
+package ssd
+
+import "repro/internal/nand"
+
+// Garbage collection. Each plane collects independently: when its free-
+// block count reaches the low watermark, the device greedily picks the
+// full block with the fewest valid pages, relocates those pages within the
+// plane via copyback (array read + array program, no channel-bus traffic),
+// erases the victim, and repeats until the high watermark is restored.
+//
+// Relocation competes with host and update traffic for plane time, which
+// is exactly the interference the F11 experiment measures.
+
+func (d *Device) maybeGC(plane int) {
+	if d.gcActive[plane] {
+		return
+	}
+	if d.ftl.FreeBlocks(plane) > d.cfg.GCLowWater && len(d.pending[plane]) == 0 {
+		return
+	}
+	d.gcActive[plane] = true
+	d.opStart()
+	d.gcStep(plane)
+}
+
+func (d *Device) gcStep(plane int) {
+	// Collect until the high watermark is restored AND no writer is starved
+	// for space.
+	if d.ftl.FreeBlocks(plane) >= d.cfg.GCHighWater && len(d.pending[plane]) == 0 {
+		d.gcFinish(plane)
+		return
+	}
+	victim, ok := d.ftl.PickVictim(plane)
+	if !ok {
+		// Nothing reclaimable: all data lives in the open or free blocks.
+		if len(d.pending[plane]) > 0 && d.ftl.FreeBlocks(plane) == 0 {
+			panic("ssd: plane wedged: writers pending but nothing reclaimable " +
+				"(logical load exceeds physical capacity)")
+		}
+		d.gcFinish(plane)
+		return
+	}
+	lpas := d.ftl.ValidLPAs(plane, victim)
+	d.relocate(plane, victim, lpas, 0)
+}
+
+// relocate moves the i-th valid page of the victim block, then recurses;
+// when the list is exhausted it erases the victim.
+func (d *Device) relocate(plane, victim int, lpas []int64, i int) {
+	if i >= len(lpas) {
+		d.eraseVictim(plane, victim)
+		return
+	}
+	lpa := lpas[i]
+	old, ok := d.ftl.Lookup(lpa)
+	// Skip pages that were rewritten (and hence invalidated in the victim)
+	// after the work list was built.
+	if !ok || d.geo.PlaneOf(old) != plane || old.Block != victim {
+		d.relocate(plane, victim, lpas, i+1)
+		return
+	}
+	die := d.Die(old.Channel, old.Die)
+	die.Read(old.Addr, func() {
+		// Re-check: the mapping may have moved while the read was queued.
+		cur, ok := d.ftl.Lookup(lpa)
+		if !ok || cur != old {
+			d.relocate(plane, victim, lpas, i+1)
+			return
+		}
+		stream := HotStream
+		if d.cfg.HotColdSeparation {
+			stream = ColdStream
+		}
+		ppa := d.ftl.AllocPageStream(plane, stream)
+		d.commit(lpa, ppa, true)
+		d.gcRelocations++
+		die.Program(ppa.Addr, func() {
+			d.relocate(plane, victim, lpas, i+1)
+		})
+	})
+}
+
+func (d *Device) eraseVictim(plane, victim int) {
+	ch, dieIdx, pl := d.geo.PlaneLoc(plane)
+	die := d.Die(ch, dieIdx)
+	die.Erase(nand.Addr{Plane: pl, Block: victim}, func() {
+		d.ftl.OnErased(plane, victim)
+		d.gcErases++
+		d.drainPending(plane)
+		d.gcStep(plane)
+	})
+}
+
+func (d *Device) gcFinish(plane int) {
+	d.gcActive[plane] = false
+	d.drainPending(plane)
+	d.opDone()
+	// Writers still queued here are waiting for in-flight programs to fill
+	// blocks; each program completion calls maybeGC again, so progress
+	// resumes without a synchronous restart (which could spin).
+}

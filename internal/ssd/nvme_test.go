@@ -1,0 +1,96 @@
+package ssd
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestQueuePairDepthOne(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDevice(e, smallConfig())
+	q := NewQueuePair(e, "io", 1)
+	for lpa := int64(0); lpa < 4; lpa++ {
+		d.Preload(lpa)
+	}
+	var ends []sim.Time
+	for lpa := int64(0); lpa < 4; lpa++ {
+		lpa := lpa
+		q.Submit(func(complete func()) { d.Read(lpa, complete) },
+			func() { ends = append(ends, e.Now()) })
+	}
+	runDrained(t, e, d)
+	// QD1: strictly serialized even though the lpas sit on different
+	// planes — each completion gap is at least one full device round trip.
+	cfg := d.Config()
+	minGap := cfg.CmdLatency + cfg.Nand.ReadLatency
+	for i := 1; i < len(ends); i++ {
+		if ends[i]-ends[i-1] < minGap {
+			t.Fatalf("QD1 overlapped: gaps %v", ends)
+		}
+	}
+	if q.Completed() != 4 || q.Submitted() != 4 {
+		t.Fatalf("counters: %d/%d", q.Submitted(), q.Completed())
+	}
+}
+
+func TestQueueDepthUnlocksParallelism(t *testing.T) {
+	run := func(depth int) sim.Time {
+		e := sim.NewEngine()
+		d := NewDevice(e, smallConfig())
+		q := NewQueuePair(e, "io", depth)
+		n := int64(d.Geometry().Planes() * 4)
+		for lpa := int64(0); lpa < n; lpa++ {
+			d.Preload(lpa)
+		}
+		for lpa := int64(0); lpa < n; lpa++ {
+			lpa := lpa
+			q.Submit(func(complete func()) { d.Read(lpa, complete) }, nil)
+		}
+		drained := false
+		d.Drain(func() { drained = true })
+		e.Run()
+		if !drained {
+			t.Fatal("wedged")
+		}
+		return e.Now()
+	}
+	qd1 := run(1)
+	qd32 := run(32)
+	if qd32*4 > qd1 {
+		t.Fatalf("QD32 (%v) should be ≥4× faster than QD1 (%v)", qd32, qd1)
+	}
+}
+
+func TestQueuePairBackpressureCounters(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDevice(e, smallConfig())
+	q := NewQueuePair(e, "io", 2)
+	for lpa := int64(0); lpa < 6; lpa++ {
+		d.Preload(lpa)
+		lpa := lpa
+		q.Submit(func(complete func()) { d.Read(lpa, complete) }, nil)
+	}
+	if q.Outstanding() != 2 || q.Waiting() != 4 {
+		t.Fatalf("outstanding=%d waiting=%d", q.Outstanding(), q.Waiting())
+	}
+	runDrained(t, e, d)
+	if q.Outstanding() != 0 || q.Waiting() != 0 {
+		t.Fatal("queue not drained")
+	}
+	if q.Utilization() <= 0 {
+		t.Fatal("utilization")
+	}
+	if q.Depth() != 2 {
+		t.Fatal("depth accessor")
+	}
+}
+
+func TestQueuePairBadDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewQueuePair(sim.NewEngine(), "bad", 0)
+}

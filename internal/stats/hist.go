@@ -1,0 +1,117 @@
+// Package stats provides the small statistics and report-rendering toolkit
+// used by the simulator: reservoir-free exact histograms, labelled data
+// series for figure regeneration, and aligned text/markdown/CSV tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Hist collects float64 samples and answers summary queries exactly
+// (it keeps all samples; simulation sample counts are modest).
+type Hist struct {
+	name    string
+	samples []float64
+	sum     float64
+	sorted  bool
+}
+
+// NewHist returns an empty histogram with a diagnostic name.
+func NewHist(name string) *Hist { return &Hist{name: name} }
+
+// Name returns the histogram's name.
+func (h *Hist) Name() string { return h.name }
+
+// Add records one sample.
+func (h *Hist) Add(v float64) {
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.sorted = false
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int { return len(h.samples) }
+
+// Sum returns the sum of all samples.
+func (h *Hist) Sum() float64 { return h.sum }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Hist) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+func (h *Hist) ensureSorted() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Hist) Min() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	return h.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Hist) Max() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	return h.samples[len(h.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank interpolation, or 0 with no samples.
+func (h *Hist) Percentile(p float64) float64 {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return h.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return h.samples[lo]*(1-frac) + h.samples[hi]*frac
+}
+
+// StdDev returns the population standard deviation, or 0 with fewer than
+// two samples.
+func (h *Hist) StdDev() float64 {
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	mean := h.Mean()
+	var ss float64
+	for _, v := range h.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Summary renders a one-line digest suitable for logs.
+func (h *Hist) Summary() string {
+	return fmt.Sprintf("%s: n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g",
+		h.name, h.Count(), h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}

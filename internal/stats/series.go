@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points — one line of a paper figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// YAt returns the y value for the first point with the given x, and whether
+// one exists.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Figure is a set of series sharing an x axis — the in-memory form of one
+// paper figure. Render produces the rows a reader would extract from the
+// plot.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries creates, registers and returns a named series.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// xValues returns the sorted union of all x coordinates.
+func (f *Figure) xValues() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// Table converts the figure to a table with one row per x value and one
+// column per series.
+func (f *Figure) Table() *Table {
+	headers := []string{f.XLabel}
+	for _, s := range f.Series {
+		headers = append(headers, s.Name)
+	}
+	t := NewTable(fmt.Sprintf("%s  (y: %s)", f.Title, f.YLabel), headers...)
+	for _, x := range f.xValues() {
+		row := []any{formatFloat(x)}
+		for _, s := range f.Series {
+			if y, ok := s.YAt(x); ok {
+				row = append(row, y)
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// String renders the figure's data table.
+func (f *Figure) String() string { return f.Table().String() }
+
+// ASCIIPlot renders a crude monospace plot (log-x aware), useful for eyeball
+// checks of figure shape in terminal output. Width/height are in chars.
+func (f *Figure) ASCIIPlot(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	var minX, maxX, minY, maxY float64
+	first := true
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if first {
+				minX, maxX, minY, maxY = p.X, p.X, p.Y, p.Y
+				first = false
+				continue
+			}
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if first {
+		return "(empty figure)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte("*+ox#@%&")
+	for si, s := range f.Series {
+		m := marks[si%len(marks)]
+		for _, p := range s.Points {
+			cx := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			cy := int((p.Y - minY) / (maxY - minY) * float64(height-1))
+			grid[height-1-cy][cx] = m
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	for _, row := range grid {
+		b.WriteString("|" + string(row) + "\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, " x: %s [%.3g..%.3g]  y: %s [%.3g..%.3g]\n",
+		f.XLabel, minX, maxX, f.YLabel, minY, maxY)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, " %c %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}
+
+// XRange returns the minimum and maximum x across all series, and whether
+// any point exists.
+func (f *Figure) XRange() (min, max float64, ok bool) {
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !ok {
+				min, max, ok = p.X, p.X, true
+				continue
+			}
+			if p.X < min {
+				min = p.X
+			}
+			if p.X > max {
+				max = p.X
+			}
+		}
+	}
+	return
+}

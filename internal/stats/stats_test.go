@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistBasics(t *testing.T) {
+	h := NewHist("lat")
+	for _, v := range []float64{3, 1, 2} {
+		h.Add(v)
+	}
+	if h.Count() != 3 || h.Sum() != 6 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if h.Mean() != 2 {
+		t.Fatalf("mean=%v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 3 {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+	if h.Name() != "lat" {
+		t.Fatal("name")
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist("e")
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(50) != 0 || h.StdDev() != 0 {
+		t.Fatal("empty hist should return zeros")
+	}
+}
+
+func TestHistPercentile(t *testing.T) {
+	h := NewHist("p")
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if p := h.Percentile(0); p != 1 {
+		t.Fatalf("p0=%v", p)
+	}
+	if p := h.Percentile(100); p != 100 {
+		t.Fatalf("p100=%v", p)
+	}
+	if p := h.Percentile(50); math.Abs(p-50.5) > 0.01 {
+		t.Fatalf("p50=%v", p)
+	}
+}
+
+func TestHistStdDev(t *testing.T) {
+	h := NewHist("s")
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Add(v)
+	}
+	if sd := h.StdDev(); math.Abs(sd-2) > 1e-9 {
+		t.Fatalf("stddev=%v, want 2", sd)
+	}
+}
+
+func TestHistSummary(t *testing.T) {
+	h := NewHist("x")
+	h.Add(1)
+	if !strings.Contains(h.Summary(), "x: n=1") {
+		t.Fatalf("summary = %q", h.Summary())
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestHistPercentileMonotoneProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHist("q")
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			h.Add(v)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := h.Percentile(p)
+			if v < prev-1e-9 || v < h.Min()-1e-9 || v > h.Max()+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 12345678.0)
+	s := tb.String()
+	if !strings.Contains(s, "== demo ==") || !strings.Contains(s, "alpha") {
+		t.Fatalf("text:\n%s", s)
+	}
+	if !strings.Contains(s, "1.235e+07") {
+		t.Fatalf("big float formatting missing: %s", s)
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| name | value |") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "name,value\n") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+	if tb.NumRows() != 2 || tb.Title() != "demo" {
+		t.Fatal("accessors")
+	}
+	if got := tb.Row(0)[0]; got != "alpha" {
+		t.Fatalf("Row(0) = %v", tb.Row(0))
+	}
+	if h := tb.Headers(); len(h) != 2 || h[0] != "name" {
+		t.Fatalf("Headers = %v", h)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`x,y`, `he said "hi"`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"he said ""hi"""`) {
+		t.Fatalf("csv quoting:\n%s", csv)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.5:     "0.500",
+		150:     "150.0",
+		2e7:     "2.000e+07",
+		0.00005: "5.000e-05",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	f := NewFigure("speedup", "params", "x")
+	a := f.AddSeries("optimstore")
+	b := f.AddSeries("baseline")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(1, 1)
+	// baseline has no point at x=2: cell must be "-"
+	tb := f.Table()
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows=%d", tb.NumRows())
+	}
+	if row := tb.Row(1); row[2] != "-" {
+		t.Fatalf("missing point cell = %q", row[2])
+	}
+	if y, ok := a.YAt(2); !ok || y != 20 {
+		t.Fatalf("YAt: %v %v", y, ok)
+	}
+	if _, ok := b.YAt(99); ok {
+		t.Fatal("YAt found nonexistent x")
+	}
+	if !strings.Contains(f.String(), "speedup") {
+		t.Fatal("figure String missing title")
+	}
+}
+
+func TestFigureXValuesSorted(t *testing.T) {
+	f := NewFigure("f", "x", "y")
+	s := f.AddSeries("s")
+	for _, x := range []float64{5, 1, 3} {
+		s.Add(x, x)
+	}
+	xs := f.xValues()
+	if !sort.Float64sAreSorted(xs) {
+		t.Fatalf("xValues not sorted: %v", xs)
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	f := NewFigure("plot", "x", "y")
+	s := f.AddSeries("s")
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	out := f.ASCIIPlot(40, 10)
+	if !strings.Contains(out, "plot") || !strings.Contains(out, "*") {
+		t.Fatalf("plot:\n%s", out)
+	}
+	empty := NewFigure("e", "x", "y").ASCIIPlot(40, 10)
+	if !strings.Contains(empty, "empty") {
+		t.Fatalf("empty plot: %q", empty)
+	}
+	// Degenerate single point must not divide by zero.
+	g := NewFigure("one", "x", "y")
+	g.AddSeries("s").Add(1, 1)
+	if out := g.ASCIIPlot(0, 0); out == "" {
+		t.Fatal("single point plot empty")
+	}
+}
+
+func TestFigureXRange(t *testing.T) {
+	f := NewFigure("r", "x", "y")
+	if _, _, ok := f.XRange(); ok {
+		t.Fatal("empty figure has a range")
+	}
+	s := f.AddSeries("s")
+	s.Add(5, 1)
+	s.Add(2, 1)
+	s.Add(9, 1)
+	min, max, ok := f.XRange()
+	if !ok || min != 2 || max != 9 {
+		t.Fatalf("range = %v..%v %v", min, max, ok)
+	}
+}
