@@ -1,0 +1,21 @@
+# Verification tiers. Tier 1 is the fast always-green gate; tier 2 adds
+# go vet and the race detector — required since internal/runner introduced
+# real concurrency (the worker pool that fans simulation points across
+# CPUs). Run `make verify` before sending changes.
+
+GO ?= go
+
+.PHONY: verify tier1 tier2 bench
+
+verify: tier1 tier2
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+tier2:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -25,12 +26,13 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment ID (T1, T2, F1..F15) or 'all'")
-		quick  = flag.Bool("quick", false, "small simulation windows (seconds instead of minutes)")
-		format = flag.String("format", "text", "output format: text, markdown or csv")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		svgDir = flag.String("svg", "", "also write each figure as an SVG into this directory")
-		htmlTo = flag.String("html", "", "also write the whole run as a self-contained HTML report")
+		exp      = flag.String("exp", "all", "experiment ID (T1, T2, F1..F15) or 'all'")
+		quick    = flag.Bool("quick", false, "small simulation windows (seconds instead of minutes)")
+		format   = flag.String("format", "text", "output format: text, markdown or csv")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		svgDir   = flag.String("svg", "", "also write each figure as an SVG into this directory")
+		htmlTo   = flag.String("html", "", "also write the whole run as a self-contained HTML report")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation points (1 = sequential)")
 	)
 	flag.Parse()
 
@@ -41,19 +43,31 @@ func main() {
 		return
 	}
 
+	switch *format {
+	case "text", "markdown", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "optimstore: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
 	ids := experiments.IDs()
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
-	}
-	opts := experiments.Options{Quick: *quick}
-	var all []*experiments.Result
-	for _, id := range ids {
-		res, err := experiments.Run(strings.TrimSpace(id), opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "optimstore:", err)
-			os.Exit(1)
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
 		}
-		all = append(all, res)
+	}
+	opts := experiments.Options{Quick: *quick, Parallel: *parallel}
+	// Experiments fan across the worker pool; results come back in the
+	// requested order, so the emitted report stream is identical at any
+	// parallelism.
+	all, summary, err := experiments.RunMany(ids, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optimstore:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "optimstore:", summary)
+	for _, res := range all {
 		if *svgDir != "" {
 			if err := writeSVGs(*svgDir, res); err != nil {
 				fmt.Fprintln(os.Stderr, "optimstore:", err)
@@ -78,9 +92,6 @@ func main() {
 			for _, f := range res.Figures {
 				fmt.Println(f.Table().CSV())
 			}
-		default:
-			fmt.Fprintf(os.Stderr, "optimstore: unknown format %q\n", *format)
-			os.Exit(2)
 		}
 	}
 	if *htmlTo != "" {

@@ -1,33 +1,41 @@
 // Command sweep runs one-dimensional parameter sweeps of the system
 // comparison and emits CSV, for plotting or regression tracking.
 //
+// Points run in parallel across a worker pool (-parallel, default one
+// worker per CPU); rows are always emitted in sweep order, and -parallel 1
+// reproduces the sequential behaviour byte for byte.
+//
 // Usage:
 //
 //	sweep -dim channels -values 2,4,8,16 -model GPT-13B
 //	sweep -dim lanes    -values 1,4,16   -systems optimstore
-//	sweep -dim pciegen  -values 3,4,5
+//	sweep -dim pciegen  -values 3,4,5    -parallel 8
 //	sweep -dim batch    -values 1,4,16,64
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/host"
+	"repro/internal/runner"
 )
 
 func main() {
 	var (
-		dim     = flag.String("dim", "channels", "sweep dimension: channels, dies, lanes, clock, pciegen, batch, buskbps")
-		values  = flag.String("values", "2,4,8,16", "comma-separated values")
-		model   = flag.String("model", "GPT-13B", "model name from the zoo")
-		systems = flag.String("systems", "hostoffload,ctrlisp,optimstore", "systems to run")
-		units   = flag.Int64("units", 512, "simulation window in update units")
+		dim      = flag.String("dim", "channels", "sweep dimension: channels, dies, lanes, clock, pciegen, batch, busmbps")
+		values   = flag.String("values", "2,4,8,16", "comma-separated values")
+		model    = flag.String("model", "GPT-13B", "model name from the zoo")
+		systems  = flag.String("systems", "hostoffload,ctrlisp,optimstore", "systems to run")
+		units    = flag.Int64("units", 512, "simulation window in update units")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines (1 = sequential)")
 	)
 	flag.Parse()
 
@@ -35,40 +43,131 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	var vals []int
-	for _, v := range strings.Split(*values, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(v))
-		if err != nil {
-			fail(fmt.Errorf("bad value %q: %w", v, err))
-		}
-		vals = append(vals, n)
+	vals, err := parseValues(*values)
+	if err != nil {
+		fail(err)
+	}
+	spec := sweepSpec{
+		Dim:      canonicalDim(*dim, os.Stderr),
+		Values:   vals,
+		Model:    m,
+		Systems:  splitList(*systems),
+		Units:    *units,
+		Parallel: *parallel,
 	}
 
-	fmt.Printf("dim,value,system,opt_step_s,step_s,tokens_per_s,pcie_gb,bus_gb,nand_prog_gb,energy_j\n")
-	for _, v := range vals {
-		cfg := core.DefaultConfig(m)
-		cfg.MaxSimUnits = *units
-		if err := apply(&cfg, *dim, v); err != nil {
-			fail(err)
-		}
-		for _, name := range strings.Split(*systems, ",") {
-			sys, err := core.NewSystem(strings.TrimSpace(name), cfg)
-			if err != nil {
-				fail(err)
-			}
-			r, err := sys.Run()
-			if err != nil {
-				fail(err)
-			}
-			if !r.Feasible {
-				continue
-			}
-			fmt.Printf("%s,%d,%s,%.6f,%.6f,%.2f,%.3f,%.3f,%.3f,%.3f\n",
-				*dim, v, r.System, r.OptStepTime.Seconds(), r.StepTime.Seconds(),
-				r.TokensPerSec, float64(r.PCIeBytes)/1e9, float64(r.BusBytes)/1e9,
-				float64(r.NANDProgramBytes)/1e9, r.Energy.Total())
+	fmt.Print(sweepHeader())
+	summary, err := spec.stream(func(row string) { fmt.Print(row) })
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "sweep:", summary)
+}
+
+// sweepSpec is one fully parsed sweep invocation.
+type sweepSpec struct {
+	Dim      string
+	Values   []int
+	Model    dnn.Model
+	Systems  []string
+	Units    int64
+	Parallel int
+}
+
+// point is one (value, system) cell of the sweep grid.
+type point struct {
+	value  int
+	system string
+}
+
+// sweepRow carries one formatted CSV row plus the simulated-event count of
+// the point that produced it, surfaced to the runner for the run summary.
+type sweepRow struct {
+	csv    string
+	events int64
+}
+
+func (r sweepRow) EventCount() int64 { return r.events }
+
+// sweepHeader returns the CSV header line. The feasible column marks
+// points a system cannot run at all (metrics are NaN there) so downstream
+// plots keep aligned x-axes instead of silently losing rows.
+func sweepHeader() string {
+	return "dim,value,system,feasible,opt_step_s,step_s,tokens_per_s,pcie_gb,bus_gb,nand_prog_gb,energy_j\n"
+}
+
+// stream runs every sweep point across the worker pool, emitting CSV rows
+// strictly in grid order, and returns the pool's run summary.
+func (s sweepSpec) stream(emit func(string)) (runner.Summary, error) {
+	var points []point
+	for _, v := range s.Values {
+		for _, name := range s.Systems {
+			points = append(points, point{value: v, system: name})
 		}
 	}
+	jobs := make([]runner.Job[sweepRow], len(points))
+	for i, p := range points {
+		p := p
+		jobs[i] = func() (sweepRow, error) { return s.runPoint(p) }
+	}
+	var results []runner.Result[sweepRow]
+	var firstErr error
+	runner.Stream(s.Parallel, jobs, func(r runner.Result[sweepRow]) {
+		results = append(results, r)
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = r.Err
+			}
+			return
+		}
+		emit(r.Value.csv)
+	})
+	return runner.Summarize(results), firstErr
+}
+
+// runPoint builds an independent configuration and system for one grid
+// cell and formats its CSV row. Each call owns its whole simulation — no
+// state is shared with sibling points.
+func (s sweepSpec) runPoint(p point) (sweepRow, error) {
+	cfg := core.DefaultConfig(s.Model)
+	cfg.MaxSimUnits = s.Units
+	if err := apply(&cfg, s.Dim, p.value); err != nil {
+		return sweepRow{}, err
+	}
+	sys, err := core.NewSystem(p.system, cfg)
+	if err != nil {
+		return sweepRow{}, err
+	}
+	r, err := sys.Run()
+	if err != nil {
+		return sweepRow{}, err
+	}
+	if !r.Feasible {
+		return sweepRow{
+			csv: fmt.Sprintf("%s,%d,%s,false,NaN,NaN,NaN,NaN,NaN,NaN,NaN\n",
+				s.Dim, p.value, r.System),
+			events: r.EventCount(),
+		}, nil
+	}
+	return sweepRow{
+		csv: fmt.Sprintf("%s,%d,%s,true,%.6f,%.6f,%.2f,%.3f,%.3f,%.3f,%.3f\n",
+			s.Dim, p.value, r.System, r.OptStepTime.Seconds(), r.StepTime.Seconds(),
+			r.TokensPerSec, float64(r.PCIeBytes)/1e9, float64(r.BusBytes)/1e9,
+			float64(r.NANDProgramBytes)/1e9, r.Energy.Total()),
+		events: r.EventCount(),
+	}, nil
+}
+
+// canonicalDim resolves deprecated dimension spellings. The NAND channel
+// bus is configured in MB/s (ssd.Config.Nand.BusMBps); the old "buskbps"
+// name wrote MB/s values under a kb/s label, silently mislabelling sweep
+// CSVs by 1000×.
+func canonicalDim(dim string, warn io.Writer) string {
+	if dim == "buskbps" {
+		fmt.Fprintln(warn, "sweep: -dim buskbps is deprecated (the value is MB/s, not kb/s); use -dim busmbps")
+		return "busmbps"
+	}
+	return dim
 }
 
 // apply sets one sweep dimension on the configuration.
@@ -86,12 +185,34 @@ func apply(cfg *core.Config, dim string, v int) error {
 		cfg.Link = host.PCIe(v, 4)
 	case "batch":
 		cfg.Batch = v
-	case "buskbps":
+	case "busmbps":
 		cfg.SSD.Nand.BusMBps = v
 	default:
 		return fmt.Errorf("unknown sweep dimension %q", dim)
 	}
 	return nil
+}
+
+// parseValues splits the -values flag into integers.
+func parseValues(s string) ([]int, error) {
+	var vals []int
+	for _, v := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", v, err)
+		}
+		vals = append(vals, n)
+	}
+	return vals, nil
+}
+
+// splitList splits a comma-separated flag into trimmed names.
+func splitList(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		out = append(out, strings.TrimSpace(n))
+	}
+	return out
 }
 
 func fail(err error) {

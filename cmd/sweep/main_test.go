@@ -1,0 +1,125 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+)
+
+func testSpec(t *testing.T, parallel int) sweepSpec {
+	t.Helper()
+	m, err := dnn.ByName("GPT-13B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sweepSpec{
+		Dim:      "channels",
+		Values:   []int{2, 4},
+		Model:    m,
+		Systems:  []string{"hostoffload", "optimstore"},
+		Units:    64,
+		Parallel: parallel,
+	}
+}
+
+func collect(t *testing.T, spec sweepSpec) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := spec.stream(func(row string) { b.WriteString(row) }); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestParallelMatchesSequential pins the determinism guarantee: the same
+// sweep through the worker pool is byte-identical to -parallel 1, which in
+// turn matches a plain sequential loop over the grid.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := collect(t, testSpec(t, 1))
+	par := collect(t, testSpec(t, 8))
+	if seq != par {
+		t.Fatalf("parallel output differs from sequential:\n--- seq ---\n%s--- par ---\n%s", seq, par)
+	}
+
+	// Reference path: no runner involved at all.
+	spec := testSpec(t, 1)
+	var ref strings.Builder
+	for _, v := range spec.Values {
+		for _, name := range spec.Systems {
+			r, err := spec.runPoint(point{value: v, system: name})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.WriteString(r.csv)
+		}
+	}
+	if seq != ref.String() {
+		t.Fatalf("runner output differs from plain loop:\n--- runner ---\n%s--- loop ---\n%s", seq, ref.String())
+	}
+}
+
+// TestInfeasiblePointsEmitted checks infeasible grid cells still produce a
+// row (feasible=false, NaN metrics) instead of being dropped, so CSV x-axes
+// stay aligned across systems.
+func TestInfeasiblePointsEmitted(t *testing.T) {
+	spec := testSpec(t, 2)
+	// GPT-13B Adam state cannot stay resident on a 40 GB GPU.
+	spec.Systems = []string{"gpuresident", "optimstore"}
+	display := map[string]string{"gpuresident": "gpu-resident", "optimstore": "optimstore"}
+	out := collect(t, spec)
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != len(spec.Values)*len(spec.Systems) {
+		t.Fatalf("got %d rows, want %d:\n%s", len(lines), len(spec.Values)*len(spec.Systems), out)
+	}
+	for i, line := range lines {
+		wantSys := spec.Systems[i%len(spec.Systems)]
+		if !strings.Contains(line, ","+display[wantSys]+",") {
+			t.Fatalf("row %d = %q, want system %s (order broken)", i, line, wantSys)
+		}
+		if wantSys == "gpuresident" {
+			if !strings.Contains(line, ",false,NaN") {
+				t.Fatalf("infeasible row %q missing feasible=false/NaN metrics", line)
+			}
+		} else if !strings.Contains(line, ",true,") {
+			t.Fatalf("feasible row %q missing feasible=true", line)
+		}
+	}
+}
+
+// TestBuskbpsAlias checks the deprecated dimension name still works, maps
+// to the MB/s field, and warns on the provided writer.
+func TestBuskbpsAlias(t *testing.T) {
+	var warn strings.Builder
+	if got := canonicalDim("buskbps", &warn); got != "busmbps" {
+		t.Fatalf("canonicalDim(buskbps) = %q, want busmbps", got)
+	}
+	if !strings.Contains(warn.String(), "deprecated") {
+		t.Fatalf("no deprecation warning emitted: %q", warn.String())
+	}
+	warn.Reset()
+	if got := canonicalDim("busmbps", &warn); got != "busmbps" || warn.Len() != 0 {
+		t.Fatalf("canonicalDim(busmbps) = %q (warn %q)", got, warn.String())
+	}
+
+	m, _ := dnn.ByName("GPT-13B")
+	cfg := core.DefaultConfig(m)
+	if err := apply(&cfg, "busmbps", 800); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SSD.Nand.BusMBps != 800 {
+		t.Fatalf("BusMBps = %d, want 800", cfg.SSD.Nand.BusMBps)
+	}
+	if err := apply(&cfg, "buskbps", 800); err == nil {
+		t.Fatal("raw buskbps should no longer be a valid dimension after canonicalisation")
+	}
+}
+
+// TestHeaderHasFeasibleColumn pins the CSV schema.
+func TestHeaderHasFeasibleColumn(t *testing.T) {
+	h := sweepHeader()
+	if !strings.HasPrefix(h, "dim,value,system,feasible,") {
+		t.Fatalf("header = %q", h)
+	}
+}

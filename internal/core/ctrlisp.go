@@ -164,6 +164,7 @@ func (s *CtrlISP) Run() (*Report, error) {
 		TotalUnits:       totalUnits,
 		SimUnits:         simUnits,
 		SimTime:          endTime,
+		SimEvents:        eng.Fired(),
 		OptStepTime:      sim.Time(float64(endTime) * scale),
 		PCIeBytes:        (gradB + woutB) * totalUnits,
 		BusBytes:         int64(float64(counts.BytesIn+counts.BytesOut) * scale),

@@ -186,6 +186,7 @@ func (s *HostOffload) Run() (*Report, error) {
 		TotalUnits:       totalUnits,
 		SimUnits:         simUnits,
 		SimTime:          endTime,
+		SimEvents:        eng.Fired(),
 		OptStepTime:      sim.Time(float64(endTime) * scale),
 		PCIeBytes:        2 * residentB * totalUnits,
 		BusBytes:         int64(float64(counts.BytesIn+counts.BytesOut) * scale),

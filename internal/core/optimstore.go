@@ -219,10 +219,10 @@ func (s *OptimStore) Run() (*Report, error) {
 			eng.Now(), completed, simUnits)
 	}
 
-	return s.report(cfg, dev, units, link, endTime)
+	return s.report(cfg, dev, units, link, endTime, eng.Fired())
 }
 
-func (s *OptimStore) report(cfg Config, dev *ssd.Device, units [][]*odp.Unit, link *host.Link, endTime sim.Time) (*Report, error) {
+func (s *OptimStore) report(cfg Config, dev *ssd.Device, units [][]*odp.Unit, link *host.Link, endTime sim.Time, fired uint64) (*Report, error) {
 	scale := cfg.ScaleFactor()
 	counts := dev.Counts()
 	var odpFlops float64
@@ -245,6 +245,7 @@ func (s *OptimStore) report(cfg Config, dev *ssd.Device, units [][]*odp.Unit, li
 		TotalUnits: totalUnits,
 		SimUnits:   cfg.SimUnits(),
 		SimTime:    endTime,
+		SimEvents:  fired,
 		// The step is throughput-bound: extrapolate the window linearly.
 		OptStepTime:      sim.Time(float64(endTime) * scale),
 		PCIeBytes:        (gradB + woutB) * totalUnits,

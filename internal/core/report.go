@@ -21,6 +21,7 @@ type Report struct {
 	TotalUnits int64
 	SimUnits   int64
 	SimTime    sim.Time // simulated window wall time
+	SimEvents  uint64   // discrete events executed in the window (0 for analytic systems)
 
 	// OptStepTime is the full-model optimizer step latency.
 	OptStepTime sim.Time
@@ -56,6 +57,10 @@ type Report struct {
 	StepTime     sim.Time
 	TokensPerSec float64
 }
+
+// EventCount reports the simulated-event cost of producing this report,
+// satisfying the runner's EventCounter interface for run summaries.
+func (r *Report) EventCount() int64 { return int64(r.SimEvents) }
 
 // EnergyPerParamPJ returns the per-parameter step energy in picojoules.
 func (r *Report) EnergyPerParamPJ(params int64) float64 {

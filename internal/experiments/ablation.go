@@ -8,36 +8,48 @@ import (
 	"repro/internal/layout"
 	"repro/internal/nand"
 	"repro/internal/optim"
+	"repro/internal/runner"
 	"repro/internal/ssd"
 	"repro/internal/stats"
 )
 
 // runF7 regenerates the data-layout ablation: the OptimStore engine on
-// each placement strategy.
+// each placement strategy. The strategies fan across the worker pool; the
+// table is assembled afterwards in strategy order so the colocated
+// baseline (index 0) normalises every row.
 func runF7(opts Options) (*Result, error) {
 	t := stats.NewTable("F7: layout ablation (GPT-13B, Adam, OptimStore engine)",
 		"layout", "colocated-frac", "optimstore-s", "bus-GB", "slowdown-vs-colocated")
 	fig := stats.NewFigure("F7: layout ablation", "strategy index", "opt-step seconds")
 	s := fig.AddSeries("optimstore")
-	var baseline float64
-	for i, strat := range layout.Strategies() {
+	type layoutPoint struct {
+		report *core.Report
+		coloc  float64
+	}
+	results := runner.Map(opts.Parallel, layout.Strategies(), func(strat layout.Strategy) (layoutPoint, error) {
 		cfg := baseConfig(opts, dnn.GPT13B())
 		cfg.Layout = strat
-		rs, err := runSystems(cfg, "optimstore")
+		rs, err := runSystems(opts, cfg, "optimstore")
 		if err != nil {
-			return nil, err
+			return layoutPoint{}, err
 		}
-		r := rs[0]
 		lay, err := layout.New(cfg.SSD.Geometry(), cfg.Comps(), cfg.SimUnits(), strat)
 		if err != nil {
-			return nil, err
+			return layoutPoint{}, err
 		}
-		sec := r.OptStepTime.Seconds()
+		return layoutPoint{report: rs[0], coloc: lay.ColocationFraction()}, nil
+	})
+	if err := runner.FirstErr(results); err != nil {
+		return nil, err
+	}
+	var baseline float64
+	for i, res := range results {
+		sec := res.Value.report.OptStepTime.Seconds()
 		if i == 0 {
 			baseline = sec
 		}
-		t.AddRow(strat.String(), lay.ColocationFraction(), sec,
-			float64(r.BusBytes)/1e9, sec/baseline)
+		t.AddRow(layout.Strategies()[i].String(), res.Value.coloc, sec,
+			float64(res.Value.report.BusBytes)/1e9, sec/baseline)
 		s.Add(float64(i), sec)
 	}
 	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
@@ -57,7 +69,7 @@ func runF8(opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rs, err := runSystems(cfg, "hostoffload", "optimstore")
+		rs, err := runSystems(opts, cfg, "hostoffload", "optimstore")
 		if err != nil {
 			return nil, err
 		}
@@ -99,19 +111,30 @@ func runF11(opts Options) (*Result, error) {
 	if opts.Quick {
 		ops = []float64{0.07, 0.28}
 	}
+	// Flatten (over-provision × workload) into independent pool jobs; the
+	// pairs come back in grid order for the table.
+	type wafPoint struct {
+		op     float64
+		random bool
+	}
+	var points []wafPoint
 	for _, op := range ops {
-		seq, seqRate, err := measureRegionWAF(op, false, opts.wafSteps())
-		if err != nil {
-			return nil, err
-		}
-		rnd, rndRate, err := measureRegionWAF(op, true, opts.wafSteps())
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(op, "sequential", seq, seqRate)
-		t.AddRow(op, "random", rnd, rndRate)
-		seqS.Add(op, seq)
-		rndS.Add(op, rnd)
+		points = append(points, wafPoint{op, false}, wafPoint{op, true})
+	}
+	type wafResult struct{ waf, rate float64 }
+	results := runner.Map(opts.Parallel, points, func(p wafPoint) (wafResult, error) {
+		waf, rate, err := measureRegionWAF(p.op, p.random, opts.wafSteps())
+		return wafResult{waf, rate}, err
+	})
+	if err := runner.FirstErr(results); err != nil {
+		return nil, err
+	}
+	for i, op := range ops {
+		seq, rnd := results[2*i].Value, results[2*i+1].Value
+		t.AddRow(op, "sequential", seq.waf, seq.rate)
+		t.AddRow(op, "random", rnd.waf, rnd.rate)
+		seqS.Add(op, seq.waf)
+		rndS.Add(op, rnd.waf)
 	}
 	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dnn"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -20,6 +21,13 @@ type Options struct {
 	// Quick shrinks simulation windows so the whole suite runs in seconds;
 	// the full setting tightens extrapolation at ~10× the runtime.
 	Quick bool
+
+	// Parallel is the worker-pool width used to fan independent simulation
+	// points (systems, sweep cells, experiments) across CPUs. <= 0 means
+	// one worker per CPU; 1 reproduces fully sequential execution. Every
+	// point owns its engine and results are assembled in submission order,
+	// so outputs are identical at any width.
+	Parallel int
 }
 
 func (o Options) simUnits() int64 {
@@ -59,12 +67,12 @@ func (r *Result) String() string {
 	return b.String()
 }
 
-type runner struct {
+type experiment struct {
 	title string
 	fn    func(Options) (*Result, error)
 }
 
-var registry = map[string]runner{
+var registry = map[string]experiment{
 	"T1":  {"System configuration", runT1},
 	"T2":  {"Model zoo and state footprints", runT2},
 	"F1":  {"Optimizer-step latency per system", runF1},
@@ -125,6 +133,24 @@ func Run(id string, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// RunMany executes a set of experiments across the worker pool and returns
+// their results in the requested order, plus the pool's run summary.
+// Unknown IDs fail before any simulation starts.
+func RunMany(ids []string, opts Options) ([]*Result, runner.Summary, error) {
+	for _, id := range ids {
+		if _, ok := registry[id]; !ok {
+			return nil, runner.Summary{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+		}
+	}
+	results := runner.Map(opts.Parallel, ids, func(id string) (*Result, error) {
+		return Run(id, opts)
+	})
+	if err := runner.FirstErr(results); err != nil {
+		return nil, runner.Summarize(results), err
+	}
+	return runner.Values(results), runner.Summarize(results), nil
+}
+
 // baseConfig is the shared default experiment point.
 func baseConfig(opts Options, model dnn.Model) core.Config {
 	cfg := core.DefaultConfig(model)
@@ -132,22 +158,22 @@ func baseConfig(opts Options, model dnn.Model) core.Config {
 	return cfg
 }
 
-// runSystems runs the named systems on a config and returns their reports.
-func runSystems(cfg core.Config, names ...string) ([]*core.Report, error) {
+// runSystems runs the named systems on a config across the worker pool
+// and returns their reports in name order. Each system constructs its own
+// engine from a private copy of cfg, so points are fully independent.
+func runSystems(opts Options, cfg core.Config, names ...string) ([]*core.Report, error) {
 	if len(names) == 0 {
 		names = core.SystemNames()
 	}
-	var out []*core.Report
-	for _, n := range names {
+	results := runner.Map(opts.Parallel, names, func(n string) (*core.Report, error) {
 		sys, err := core.NewSystem(n, cfg)
 		if err != nil {
 			return nil, err
 		}
-		r, err := sys.Run()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+		return sys.Run()
+	})
+	if err := runner.FirstErr(results); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return runner.Values(results), nil
 }

@@ -42,6 +42,51 @@ func TestRunUnknownID(t *testing.T) {
 	if _, err := Run("F99", quick); err == nil {
 		t.Fatal("unknown id accepted")
 	}
+	if _, _, err := RunMany([]string{"T1", "F99"}, quick); err == nil {
+		t.Fatal("RunMany accepted unknown id")
+	}
+}
+
+// TestParallelDeterminism pins the runner guarantee at the experiment
+// level: fan-out across the worker pool renders byte-identical tables and
+// figures to fully sequential execution. F2 exercises the parallel
+// runSystems path, F7/F11 the converted ablation fan-outs.
+func TestParallelDeterminism(t *testing.T) {
+	for _, id := range []string{"F2", "F7", "F11"} {
+		seqRes, err := Run(id, Options{Quick: true, Parallel: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parRes, err := Run(id, Options{Quick: true, Parallel: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqRes.String() != parRes.String() {
+			t.Fatalf("%s output differs under parallelism:\n--- seq ---\n%s--- par ---\n%s",
+				id, seqRes, parRes)
+		}
+	}
+}
+
+// TestRunMany checks ordered fan-out over experiment IDs and that the run
+// summary sees the simulated-event metrics reports carry.
+func TestRunMany(t *testing.T) {
+	ids := []string{"F2", "T1", "T2"}
+	results, summary, err := RunMany(ids, Options{Quick: true, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(ids) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, id := range ids {
+		if results[i].ID != id {
+			t.Fatalf("result %d is %s, want %s (order broken)", i, results[i].ID, id)
+		}
+	}
+	if summary.Jobs != len(ids) || summary.Errors != 0 {
+		t.Fatalf("summary = %+v", summary)
+	}
 }
 
 func TestT1Structure(t *testing.T) {

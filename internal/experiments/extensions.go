@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/nand"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/stats"
@@ -24,20 +25,33 @@ func runF13(opts Options) (*Result, error) {
 	if opts.Quick {
 		fractions = []float64{0.001, 0.1}
 	}
-	for _, frac := range fractions {
+	type sparsePoint struct {
+		off, opt  *core.Report
+		touchedGB float64
+	}
+	results := runner.Map(opts.Parallel, fractions, func(frac float64) (sparsePoint, error) {
 		model := dnn.DLRM()
 		model.SparseFraction = frac
 		cfg := baseConfig(opts, model)
-		rs, err := runSystems(cfg, "hostoffload", "optimstore")
+		rs, err := runSystems(opts, cfg, "hostoffload", "optimstore")
 		if err != nil {
-			return nil, err
+			return sparsePoint{}, err
 		}
-		off, opt := rs[0], rs[1]
-		touchedGB := float64(cfg.TouchedUnits()*cfg.ResidentBytesPerUnit()) / 1e9
-		t.AddRow(frac, touchedGB, off.OptStepTime.Seconds(), opt.OptStepTime.Seconds(),
-			opt.Speedup(off))
-		sOff.Add(frac, off.OptStepTime.Seconds())
-		sOpt.Add(frac, opt.OptStepTime.Seconds())
+		return sparsePoint{
+			off:       rs[0],
+			opt:       rs[1],
+			touchedGB: float64(cfg.TouchedUnits()*cfg.ResidentBytesPerUnit()) / 1e9,
+		}, nil
+	})
+	if err := runner.FirstErr(results); err != nil {
+		return nil, err
+	}
+	for i, frac := range fractions {
+		p := results[i].Value
+		t.AddRow(frac, p.touchedGB, p.off.OptStepTime.Seconds(), p.opt.OptStepTime.Seconds(),
+			p.opt.Speedup(p.off))
+		sOff.Add(frac, p.off.OptStepTime.Seconds())
+		sOpt.Add(frac, p.opt.OptStepTime.Seconds())
 	}
 	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
 }
@@ -51,12 +65,14 @@ func runF14(opts Options) (*Result, error) {
 	if !opts.Quick {
 		models = append(models, dnn.GPT6B7(), dnn.GPT30B())
 	}
-	for _, m := range models {
-		cfg := baseConfig(opts, m)
-		r, err := core.Checkpoint(cfg)
-		if err != nil {
-			return nil, err
-		}
+	results := runner.Map(opts.Parallel, models, func(m dnn.Model) (*core.CheckpointReport, error) {
+		return core.Checkpoint(baseConfig(opts, m))
+	})
+	if err := runner.FirstErr(results); err != nil {
+		return nil, err
+	}
+	for i, m := range models {
+		r := results[i].Value
 		t.AddRow(m.Name, float64(r.StateBytes)/1e9, r.HostStreamTime.Seconds(),
 			r.InStorageCopyTime.Seconds(), r.Speedup, r.CapacityOK)
 	}
@@ -77,7 +93,7 @@ func runF15(opts Options) (*Result, error) {
 		layered.LayerwiseOverlap = true
 		var rows []float64
 		for _, cfg := range []core.Config{none, scalar, layered} {
-			rs, err := runSystems(cfg, sys)
+			rs, err := runSystems(opts, cfg, sys)
 			if err != nil {
 				return nil, err
 			}
@@ -100,12 +116,15 @@ func runF16(opts Options) (*Result, error) {
 	if opts.Quick {
 		workers = []int{1, 4, 16}
 	}
-	for _, n := range workers {
+	results := runner.Map(opts.Parallel, workers, func(n int) (*core.ClusterReport, error) {
 		cfg := baseConfig(opts, dnn.GPT13B())
-		r, err := core.RunCluster(cfg, core.DefaultCluster(n), "optimstore")
-		if err != nil {
-			return nil, err
-		}
+		return core.RunCluster(cfg, core.DefaultCluster(n), "optimstore")
+	})
+	if err := runner.FirstErr(results); err != nil {
+		return nil, err
+	}
+	for i, n := range workers {
+		r := results[i].Value
 		t.AddRow(n, r.ShardOptStep.Seconds(), r.AllReduce.Seconds(),
 			r.StepTime.Seconds(), r.TokensPerSec, r.Efficiency)
 		s.Add(float64(n), r.TokensPerSec)
@@ -125,12 +144,20 @@ func runF17(opts Options) (*Result, error) {
 	if opts.Quick {
 		rounds = 3
 	}
-	for _, suspend := range []bool{false, true} {
+	type qosResult struct {
+		p50, p99          float64
+		updates, preempts uint64
+	}
+	results := runner.Map(opts.Parallel, []bool{false, true}, func(suspend bool) (qosResult, error) {
 		p50, p99, updates, preempts, err := measureReadQoS(suspend, rounds)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(suspend, p50, p99, updates, preempts)
+		return qosResult{p50, p99, updates, preempts}, err
+	})
+	if err := runner.FirstErr(results); err != nil {
+		return nil, err
+	}
+	for i, suspend := range []bool{false, true} {
+		q := results[i].Value
+		t.AddRow(suspend, q.p50, q.p99, q.updates, q.preempts)
 	}
 	return &Result{Tables: []*stats.Table{t}}, nil
 }
@@ -208,27 +235,39 @@ func runF18(opts Options) (*Result, error) {
 	fig := stats.NewFigure("F18: step time vs cell mode", "bits per cell", "opt-step seconds")
 	s := fig.AddSeries("optimstore")
 	cells := []nand.CellType{nand.SLC, nand.MLC, nand.TLC, nand.QLC}
-	for i, cell := range cells {
+	type cellPoint struct {
+		report *core.Report
+		end    *core.EnduranceReport
+		tprog  string
+	}
+	results := runner.Map(opts.Parallel, cells, func(cell nand.CellType) (cellPoint, error) {
 		cfg := baseConfig(opts, dnn.GPT13B())
 		n := nand.ParamsFor(cell)
 		n.BlocksPerPlane = cfg.SSD.Nand.BlocksPerPlane // keep the sim window small
 		cfg.SSD.Nand = n
-		rs, err := runSystems(cfg, "optimstore")
+		rs, err := runSystems(opts, cfg, "optimstore")
 		if err != nil {
-			return nil, err
+			return cellPoint{}, err
 		}
 		end, err := core.RunEndurance(cfg, cell, opts.wafSteps())
 		if err != nil {
-			return nil, err
+			return cellPoint{}, err
 		}
-		if end.Fits {
-			t.AddRow(cell.String(), n.ProgramLatency.String(), rs[0].OptStepTime.Seconds(),
-				float64(end.DeviceBytes)/1e12, end.LifetimeSteps, end.LifetimeDays)
+		return cellPoint{report: rs[0], end: end, tprog: n.ProgramLatency.String()}, nil
+	})
+	if err := runner.FirstErr(results); err != nil {
+		return nil, err
+	}
+	for i, cell := range cells {
+		p := results[i].Value
+		if p.end.Fits {
+			t.AddRow(cell.String(), p.tprog, p.report.OptStepTime.Seconds(),
+				float64(p.end.DeviceBytes)/1e12, p.end.LifetimeSteps, p.end.LifetimeDays)
 		} else {
-			t.AddRow(cell.String(), n.ProgramLatency.String(), rs[0].OptStepTime.Seconds(),
-				float64(end.DeviceBytes)/1e12, "-", "-")
+			t.AddRow(cell.String(), p.tprog, p.report.OptStepTime.Seconds(),
+				float64(p.end.DeviceBytes)/1e12, "-", "-")
 		}
-		s.Add(float64(i+1), rs[0].OptStepTime.Seconds())
+		s.Add(float64(i+1), p.report.OptStepTime.Seconds())
 	}
 	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
 }
@@ -244,12 +283,21 @@ func runF19(opts Options) (*Result, error) {
 	if opts.Quick {
 		rounds = 5
 	}
-	for _, sep := range []bool{false, true} {
+	type sepResult struct {
+		waf    float64
+		relocs uint64
+		rate   float64
+	}
+	results := runner.Map(opts.Parallel, []bool{false, true}, func(sep bool) (sepResult, error) {
 		waf, relocs, rate, err := measureSkewedWAF(sep, rounds)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(sep, waf, relocs, rate)
+		return sepResult{waf, relocs, rate}, err
+	})
+	if err := runner.FirstErr(results); err != nil {
+		return nil, err
+	}
+	for i, sep := range []bool{false, true} {
+		r := results[i].Value
+		t.AddRow(sep, r.waf, r.relocs, r.rate)
 	}
 	return &Result{Tables: []*stats.Table{t}}, nil
 }

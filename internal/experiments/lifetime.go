@@ -65,7 +65,7 @@ func runF10(opts Options) (*Result, error) {
 	models := perfModels(opts)
 	for _, m := range models {
 		cfg := baseConfig(opts, m)
-		rs, err := runSystems(cfg, "hostoffload", "ctrlisp", "optimstore")
+		rs, err := runSystems(opts, cfg, "hostoffload", "ctrlisp", "optimstore")
 		if err != nil {
 			return nil, err
 		}

@@ -27,7 +27,7 @@ func runF1(opts Options) (*Result, error) {
 	var reports []*core.Report
 	for _, m := range perfModels(opts) {
 		cfg := baseConfig(opts, m)
-		rs, err := runSystems(cfg)
+		rs, err := runSystems(opts, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -58,7 +58,7 @@ func runF2(opts Options) (*Result, error) {
 	}
 	for _, m := range models {
 		cfg := baseConfig(opts, m)
-		rs, err := runSystems(cfg, "hostoffload", "optimstore")
+		rs, err := runSystems(opts, cfg, "hostoffload", "optimstore")
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +87,7 @@ func runF3(opts Options) (*Result, error) {
 	for _, k := range kinds {
 		cfg := baseConfig(opts, model)
 		cfg.Optimizer = k
-		rs, err := runSystems(cfg, "hostoffload", "ctrlisp", "optimstore")
+		rs, err := runSystems(opts, cfg, "hostoffload", "ctrlisp", "optimstore")
 		if err != nil {
 			return nil, err
 		}

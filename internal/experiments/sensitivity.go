@@ -11,7 +11,7 @@ import (
 // runF4 regenerates the energy-breakdown figure on GPT-13B.
 func runF4(opts Options) (*Result, error) {
 	cfg := baseConfig(opts, dnn.GPT13B())
-	rs, err := runSystems(cfg, "hostoffload", "ctrlisp", "optimstore")
+	rs, err := runSystems(opts, cfg, "hostoffload", "ctrlisp", "optimstore")
 	if err != nil {
 		return nil, err
 	}
@@ -46,7 +46,7 @@ func runF5(opts Options) (*Result, error) {
 			cfg := baseConfig(opts, dnn.GPT13B())
 			cfg.SSD.Channels = ch
 			cfg.SSD.DiesPerChannel = dpc
-			rs, err := runSystems(cfg, "optimstore", "hostoffload")
+			rs, err := runSystems(opts, cfg, "optimstore", "hostoffload")
 			if err != nil {
 				return nil, err
 			}
@@ -76,7 +76,7 @@ func runF6(opts Options) (*Result, error) {
 			cfg := baseConfig(opts, dnn.GPT13B())
 			cfg.ODP.Lanes = ln
 			cfg.ODP.ClockMHz = clk
-			rs, err := runSystems(cfg, "optimstore")
+			rs, err := runSystems(opts, cfg, "optimstore")
 			if err != nil {
 				return nil, err
 			}

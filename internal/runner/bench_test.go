@@ -1,0 +1,78 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+)
+
+// sweep32 builds the benchmark workload: a 32-point sweep (8 channel
+// counts × 4 systems) of independent simulation jobs, the grid shape
+// cmd/sweep produces. Every job constructs its own System and Engine.
+func sweep32() []Job[*core.Report] {
+	channels := []int{1, 2, 3, 4, 6, 8, 12, 16}
+	var jobs []Job[*core.Report]
+	for _, ch := range channels {
+		for _, name := range core.SystemNames() {
+			ch, name := ch, name
+			jobs = append(jobs, func() (*core.Report, error) {
+				cfg := core.DefaultConfig(dnn.GPT13B())
+				cfg.MaxSimUnits = 128
+				cfg.SSD.Channels = ch
+				sys, err := core.NewSystem(name, cfg)
+				if err != nil {
+					return nil, err
+				}
+				return sys.Run()
+			})
+		}
+	}
+	return jobs
+}
+
+// BenchmarkSweep32 measures wall-clock of the 32-point sweep at several
+// pool widths. On an N-core host the workers=N case should approach N×
+// the workers=1 throughput (the jobs share nothing), demonstrating
+// near-linear scaling; compare the ns/op of the sub-benchmarks.
+func BenchmarkSweep32(b *testing.B) {
+	// Measure widths up to the machine's CPU count — beyond it the pool
+	// only adds scheduler contention, not parallelism.
+	var widths []int
+	for _, w := range []int{1, 2, 4, 8, runtime.NumCPU()} {
+		if w <= runtime.NumCPU() && (len(widths) == 0 || w > widths[len(widths)-1]) {
+			widths = append(widths, w)
+		}
+	}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			jobs := sweep32()
+			for i := 0; i < b.N; i++ {
+				results := Run(w, jobs)
+				if err := FirstErr(results); err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != 32 {
+					b.Fatalf("got %d results", len(results))
+				}
+			}
+			s := Summarize(Run(w, jobs))
+			b.ReportMetric(float64(s.Events)/float64(32), "sim-events/job")
+		})
+	}
+}
+
+// BenchmarkOverhead measures the pool's fixed cost on empty jobs — the
+// price of ordering and panic capture when jobs do no work.
+func BenchmarkOverhead(b *testing.B) {
+	jobs := make([]Job[int], 256)
+	for i := range jobs {
+		jobs[i] = func() (int, error) { return 0, nil }
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(0, jobs)
+	}
+}

@@ -70,8 +70,11 @@ func (h *Hist) Max() float64 {
 	return h.samples[len(h.samples)-1]
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) using
-// nearest-rank interpolation, or 0 with no samples.
+// Percentile returns the p-th percentile (0 <= p <= 100), or 0 with no
+// samples. It linearly interpolates between the two closest ranks (the
+// "exclusive" variant at rank p/100·(n-1), matching numpy's default
+// quantile method) — it is NOT the nearest-rank method: p50 of {1, 2} is
+// 1.5, not 1 or 2.
 func (h *Hist) Percentile(p float64) float64 {
 	n := len(h.samples)
 	if n == 0 {

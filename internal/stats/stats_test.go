@@ -50,6 +50,41 @@ func TestHistPercentile(t *testing.T) {
 	}
 }
 
+// TestHistPercentileLinearInterpolation pins the interpolation behaviour
+// the doc comment promises: linear between the two closest ranks at
+// p/100·(n-1), not nearest-rank. A nearest-rank implementation would fail
+// every sub-case here that lands between samples.
+func TestHistPercentileLinearInterpolation(t *testing.T) {
+	// Known sample set, added out of order to exercise the lazy sort.
+	h := NewHist("li")
+	for _, v := range []float64{40, 10, 50, 20, 30} {
+		h.Add(v)
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 10},
+		{25, 20},   // exact rank 1
+		{50, 30},   // exact middle sample
+		{99, 49.6}, // rank 3.96: 40 + 0.96×(50−40)
+		{100, 50},
+		{10, 14},   // rank 0.4: 10 + 0.4×(20−10)
+		{62.5, 35}, // rank 2.5: halfway between 30 and 40
+	}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+
+	// Two samples: p50 must be their midpoint (nearest-rank would return
+	// one of the samples).
+	h2 := NewHist("li2")
+	h2.Add(1)
+	h2.Add(2)
+	if got := h2.Percentile(50); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p50 of {1,2} = %v, want 1.5", got)
+	}
+}
+
 func TestHistStdDev(t *testing.T) {
 	h := NewHist("s")
 	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
