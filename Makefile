@@ -1,13 +1,15 @@
 # Verification tiers. Tier 1 is the fast always-green gate; tier 2 adds
 # go vet and the race detector — required since internal/runner introduced
 # real concurrency (the worker pool that fans simulation points across
-# CPUs). Run `make verify` before sending changes.
+# CPUs); tier 3 runs simlint, the project's own static analyzers for
+# determinism and unit safety (see DESIGN.md). Run `make verify` before
+# sending changes.
 
 GO ?= go
 
-.PHONY: verify tier1 tier2 bench
+.PHONY: verify tier1 tier2 tier3 bench
 
-verify: tier1 tier2
+verify: tier1 tier2 tier3
 
 tier1:
 	$(GO) build ./...
@@ -16,6 +18,9 @@ tier1:
 tier2:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+tier3:
+	$(GO) run ./cmd/simlint ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

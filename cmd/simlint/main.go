@@ -1,0 +1,185 @@
+// Command simlint is the repository's static-analysis multichecker:
+// verify tier 3. It runs four analyzers over the module —
+//
+//	nondeterminism  wall-clock reads, global math/rand, map-order iteration
+//	unitconv        raw scale-factor literals outside internal/units
+//	floateq         exact float ==/!= in tests outside approx helpers
+//	simtime         bare sim.Time(x) conversions without a named constructor
+//
+// Findings are suppressed line-by-line with `//simlint:allow <check>
+// [reason]` placed on, or directly above, the offending line.
+//
+// Usage:
+//
+//	simlint [packages]     # default ./...
+//	simlint -list          # print analyzers and their scopes
+//
+// Exit status is 1 if any diagnostic survives suppression, 2 on load
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/checks"
+)
+
+// scope limits an analyzer to the packages where its rule is policy.
+type scope struct {
+	analyzer *lint.Analyzer
+	include  func(rel string) bool
+	describe string
+}
+
+// scopes is the tier-3 policy. Paths are module-relative.
+//
+//   - nondeterminism governs every package that feeds simulator output
+//     (all of internal/ and cmd/); examples are interactive demos and may
+//     print wall-clock timings.
+//   - unitconv and simtime govern everything outside the packages that
+//     define the units (internal/units and the sim kernel itself, whose
+//     Time type the constructors wrap).
+//   - floateq governs every test in the module.
+var scopes = []scope{
+	{checks.Nondeterminism, underAny("internal", "cmd"), "internal/..., cmd/..."},
+	{checks.UnitConv, not(underAny("internal/units", "internal/lint")), "all but internal/units, internal/lint"},
+	{checks.FloatEq, not(underAny("internal/lint")), "all tests but internal/lint's"},
+	{checks.SimTime, not(underAny("internal/sim", "internal/units", "internal/lint")), "all but internal/sim, internal/units, internal/lint"},
+}
+
+func underAny(prefixes ...string) func(string) bool {
+	return func(rel string) bool {
+		for _, p := range prefixes {
+			if rel == p || strings.HasPrefix(rel, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func not(f func(string) bool) func(string) bool {
+	return func(rel string) bool { return !f(rel) }
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simlint [-list] [packages]\n\nAnalyzers:\n")
+		for _, s := range scopes {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n                   scope: %s\n",
+				s.analyzer.Name, s.analyzer.Doc, s.describe)
+		}
+	}
+	flag.Parse()
+	if *list {
+		flag.Usage()
+		return
+	}
+	os.Exit(run(flag.Args()))
+}
+
+func run(patterns []string) int {
+	root, modPath, err := lint.FindModule(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	dirs, err := expand(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+
+	loader := lint.NewLoader(root, modPath)
+	found, failed := 0, false
+	for _, dir := range dirs {
+		units, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			failed = true
+			continue
+		}
+		for _, unit := range units {
+			rel := relPath(root, unit.Dir)
+			var applicable []*lint.Analyzer
+			for _, s := range scopes {
+				if s.include(rel) {
+					applicable = append(applicable, s.analyzer)
+				}
+			}
+			if len(applicable) == 0 {
+				continue
+			}
+			diags, err := lint.RunAnalyzers(unit, applicable...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "simlint:", err)
+				failed = true
+				continue
+			}
+			for _, d := range diags {
+				pos := unit.Fset.Position(d.Pos)
+				fmt.Printf("%s:%d:%d: %s [%s]\n",
+					relPath(root, pos.Filename), pos.Line, pos.Column, d.Message, d.Analyzer)
+				found++
+			}
+		}
+	}
+	switch {
+	case failed:
+		return 2
+	case found > 0:
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}
+
+// expand resolves package patterns to directories. Supported: "./...",
+// "dir/...", plain directories.
+func expand(root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	seen := map[string]bool{}
+	for _, p := range patterns {
+		var batch []string
+		var err error
+		switch {
+		case p == "./..." || p == "...":
+			batch, err = lint.PackageDirs(root)
+		case strings.HasSuffix(p, "/..."):
+			batch, err = lint.PackageDirs(filepath.Join(root, strings.TrimSuffix(p, "/...")))
+		default:
+			batch = []string{p}
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range batch {
+			abs, err := filepath.Abs(d)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[abs] {
+				seen[abs] = true
+				dirs = append(dirs, abs)
+			}
+		}
+	}
+	return dirs, nil
+}
+
+// relPath renders a path module-relative for stable, clickable output.
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/ssd"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/units"
 )
 
 func main() {
@@ -28,7 +29,7 @@ func main() {
 		dies     = flag.Int("dies", 2, "dies per channel")
 		blocks   = flag.Int("blocks", 32, "blocks per plane")
 		op       = flag.Float64("op", 0.125, "over-provisioning fraction")
-		seed     = flag.Int64("seed", 42, "trace seed")
+		seed     = flag.Int64("seed", trace.DefaultSeed, "trace seed")
 		qd       = flag.Int("qd", 64, "NVMe queue depth")
 	)
 	flag.Parse()
@@ -107,7 +108,7 @@ func main() {
 	t := stats.NewTable(fmt.Sprintf("ssdsim: %s, %d requests, QD%d", pat, *reqs, *qd), "metric", "value")
 	t.AddRow("simulated time", elapsed.String())
 	t.AddRow("throughput (IOPS)", float64(*reqs)/elapsed.Seconds())
-	t.AddRow("bandwidth (MB/s)", float64(*reqs)*float64(n.PageSize)/1e6/elapsed.Seconds())
+	t.AddRow("bandwidth (MB/s)", units.Bytes(int64(*reqs)*int64(n.PageSize)).MBf()/elapsed.Seconds())
 	if readLat.Count() > 0 {
 		t.AddRow("read latency p50/p99 (us)",
 			fmt.Sprintf("%.1f / %.1f", readLat.Percentile(50), readLat.Percentile(99)))

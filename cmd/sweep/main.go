@@ -26,6 +26,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/host"
 	"repro/internal/runner"
+	"repro/internal/units"
 )
 
 func main() {
@@ -152,8 +153,8 @@ func (s sweepSpec) runPoint(p point) (sweepRow, error) {
 	return sweepRow{
 		csv: fmt.Sprintf("%s,%d,%s,true,%.6f,%.6f,%.2f,%.3f,%.3f,%.3f,%.3f\n",
 			s.Dim, p.value, r.System, r.OptStepTime.Seconds(), r.StepTime.Seconds(),
-			r.TokensPerSec, float64(r.PCIeBytes)/1e9, float64(r.BusBytes)/1e9,
-			float64(r.NANDProgramBytes)/1e9, r.Energy.Total()),
+			r.TokensPerSec, units.Bytes(r.PCIeBytes).GBf(), units.Bytes(r.BusBytes).GBf(),
+			units.Bytes(r.NANDProgramBytes).GBf(), r.Energy.Total()),
 		events: r.EventCount(),
 	}, nil
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/stats"
+	"repro/internal/units"
 )
 
 func main() {
@@ -25,10 +26,10 @@ func main() {
 	spec := cfg.Spec()
 	fmt.Printf("Model: %s\n", model)
 	fmt.Printf("Optimizer state: %d B/param -> %.0f GB resident in flash\n",
-		spec.ResidentBytes(), float64(model.Params)*float64(spec.ResidentBytes())/1e9)
+		spec.ResidentBytes(), float64(model.Params)*float64(spec.ResidentBytes())/units.BytesPerGB)
 	fmt.Printf("GPU memory: %.0f GB (%s) -> state is %.1fx too large to keep on-device\n\n",
 		cfg.GPU.MemoryGB, cfg.GPU.Name,
-		float64(model.Params)*float64(spec.ResidentBytes())/(cfg.GPU.MemoryGB*1e9))
+		float64(model.Params)*float64(spec.ResidentBytes())/(cfg.GPU.MemoryGB*units.BytesPerGB))
 
 	// System comparison at the default batch.
 	var reports []*core.Report
@@ -52,9 +53,9 @@ func main() {
 	// traffic against the interface bandwidths.
 	fmt.Println("Bottleneck analysis:")
 	fmt.Printf("  PCIe effective:       %6.2f GB/s per direction\n", cfg.Link.EffectiveGBps())
-	fmt.Printf("  channel buses total:  %6.2f GB/s\n", cfg.SSD.ChannelMBps()/1000)
+	fmt.Printf("  channel buses total:  %6.2f GB/s\n", cfg.SSD.ChannelMBps().GBps())
 	fmt.Printf("  NAND program total:   %6.2f GB/s  <- floor for every design that persists state\n",
-		cfg.SSD.InternalProgramMBps()/1000)
+		cfg.SSD.InternalProgramMBps().GBps())
 	fmt.Println()
 
 	// Batch scaling: the optimizer step is batch-independent, so larger

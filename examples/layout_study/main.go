@@ -16,6 +16,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/nand"
 	"repro/internal/stats"
+	"repro/internal/units"
 )
 
 func main() {
@@ -43,7 +44,7 @@ func main() {
 		}
 		lt.AddRow(strat.String(),
 			fmt.Sprintf("%.0f%%", lay.ColocationFraction()*100),
-			sec, float64(r.BusBytes)/1e9, fmt.Sprintf("%.2fx", sec/base))
+			sec, units.Bytes(r.BusBytes).GBf(), fmt.Sprintf("%.2fx", sec/base))
 	}
 	fmt.Print(lt)
 	fmt.Println(`
@@ -62,10 +63,10 @@ func main() {
 			log.Fatal(err)
 		}
 		if !rep.Fits {
-			et.AddRow(cell.String(), float64(rep.DeviceBytes)/1e12, false, "-", "-", "-")
+			et.AddRow(cell.String(), units.Bytes(rep.DeviceBytes).TBf(), false, "-", "-", "-")
 			continue
 		}
-		et.AddRow(cell.String(), float64(rep.DeviceBytes)/1e12, true,
+		et.AddRow(cell.String(), units.Bytes(rep.DeviceBytes).TBf(), true,
 			rep.MeasuredWAF, rep.LifetimeSteps, rep.LifetimeDays)
 	}
 	fmt.Print(et)

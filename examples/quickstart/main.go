@@ -16,12 +16,13 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/optim"
 	"repro/internal/trace"
+	"repro/internal/units"
 )
 
 func main() {
 	// --- Part 1: the optimizers themselves -------------------------------
 	fmt.Println("Part 1: Adam on a 64-dim quadratic (gold optimizer implementation)")
-	problem := trace.NewQuadratic(42, 64)
+	problem := trace.NewQuadratic(trace.DefaultSeed, 64)
 	w := make([]float32, problem.Dim())
 	g := make([]float32, problem.Dim())
 	opt := optim.New(optim.Adam, optim.Hyper{LR: 0.05})
@@ -48,7 +49,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-12s opt-step %8.2fs   PCIe %6.1f GB   energy %6.1f J\n",
-			r.System, r.OptStepTime.Seconds(), float64(r.PCIeBytes)/1e9, r.Energy.Total())
+			r.System, r.OptStepTime.Seconds(), units.Bytes(r.PCIeBytes).GBf(), r.Energy.Total())
 	}
 
 	off, _ := core.NewSystem("hostoffload", cfg)

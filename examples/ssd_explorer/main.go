@@ -15,6 +15,7 @@ import (
 	"repro/internal/ssd"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/units"
 )
 
 func device() (*sim.Engine, *ssd.Device) {
@@ -70,7 +71,7 @@ func main() {
 		dev.Drain(func() { ok = true })
 		eng.Run()
 		s := dev.Stats()
-		mbps := float64(s.HostWrites) * float64(dev.Geometry().PageSize) / 1e6 / eng.Now().Seconds()
+		mbps := units.Bytes(int64(s.HostWrites)*int64(dev.Geometry().PageSize)).MBf() / eng.Now().Seconds()
 		t.AddRow(pat.String(), s.HostWrites, s.GCRelocations, s.GCErases,
 			fmt.Sprintf("%.2f%s", s.WAF, ok1(ok)), mbps)
 	}
@@ -83,11 +84,11 @@ func main() {
 	fmt.Println("3. Topology sets the ceilings (full-size 8x4-die drive):")
 	cfg := ssd.DefaultConfig()
 	fmt.Printf("   internal read  %6.1f GB/s  (%d planes x tR)\n",
-		cfg.InternalReadMBps()/1000, cfg.Geometry().Planes())
+		cfg.InternalReadMBps().GBps(), cfg.Geometry().Planes())
 	fmt.Printf("   internal write %6.1f GB/s  (%d planes x tPROG)\n",
-		cfg.InternalProgramMBps()/1000, cfg.Geometry().Planes())
+		cfg.InternalProgramMBps().GBps(), cfg.Geometry().Planes())
 	fmt.Printf("   channel buses  %6.1f GB/s  (%d x %d MB/s)\n",
-		cfg.ChannelMBps()/1000, cfg.Channels, cfg.Nand.BusMBps)
+		cfg.ChannelMBps().GBps(), cfg.Channels, cfg.Nand.BusMBps)
 	fmt.Println("   -> reads are 3.4x faster than the buses can drain them:")
 	fmt.Println("      the bandwidth in-storage processing taps, and offloading wastes.")
 }

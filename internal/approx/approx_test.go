@@ -1,0 +1,48 @@
+package approx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 1, true},
+		{0, 0, true},
+		{1, 1 + 1e-12, true},             // inside tolerance
+		{1, 1 + 1e-6, false},             // outside tolerance
+		{1e15, 1e15 * (1 + 1e-12), true}, // relative, not absolute
+		{1e15, 1e15 + 1, true},
+		{1e-12, 2e-12, true}, // below 1: absolute scale
+		{0, 1e-8, false},
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.Inf(1), 1e308, false},
+		{math.NaN(), math.NaN(), false},
+		{math.NaN(), 1, false},
+		{-1, 1, false},
+	}
+	for _, c := range cases {
+		if got := Equal(c.a, c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestClose(t *testing.T) {
+	if !Close(100, 101, 0.02) {
+		t.Fatal("2% tolerance rejected a 1% gap")
+	}
+	if Close(100, 103, 0.02) {
+		t.Fatal("2% tolerance accepted a 3% gap")
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !Zero(1e-12, 1e-9) || Zero(1e-6, 1e-9) || Zero(math.NaN(), 1) {
+		t.Fatal("Zero tolerance handling")
+	}
+}

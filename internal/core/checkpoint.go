@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 // CheckpointReport compares snapshotting the optimizer state for fault
@@ -46,18 +47,21 @@ func Checkpoint(cfg Config) (*CheckpointReport, error) {
 
 	// External stream: reads overlap the PCIe transfer; PCIe is the
 	// narrowest stage (internal read 32 GB/s > buses 9.6 GB/s > PCIe).
+	// Bandwidth units are decimal end to end — MBps.GBps() divides by
+	// 1000, never 1024; binary units appear only in capacity math
+	// (Geometry().TotalBytes() below).
 	extGBps := cfg.Link.EffectiveGBps()
-	if busGBps := cfg.SSD.ChannelMBps() / 1000; busGBps < extGBps {
+	if busGBps := cfg.SSD.ChannelMBps().GBps(); busGBps < extGBps {
 		extGBps = busGBps
 	}
-	r.HostStreamTime = sim.Time(float64(state) / extGBps) // bytes/GBps = ns
+	r.HostStreamTime = extGBps.TransferTimeF(float64(state)) // bytes/GBps = ns
 
 	// Internal copy: plane-local copyback — each page pays tR + tPROG on
 	// its plane, all planes in parallel.
 	n := cfg.SSD.Nand
-	perPlaneBps := float64(n.PageSize) / (sim.Time(n.ReadLatency + n.ProgramLatency)).Seconds()
-	aggBps := perPlaneBps * float64(cfg.SSD.Geometry().Planes())
-	r.InStorageCopyTime = sim.Time(float64(state) / aggBps * 1e9)
+	perPlane := units.RateBps(units.Bytes(n.PageSize), n.ReadLatency+n.ProgramLatency)
+	agg := perPlane.Scale(float64(cfg.SSD.Geometry().Planes()))
+	r.InStorageCopyTime = agg.TransferTimeF(float64(state))
 
 	if r.InStorageCopyTime > 0 {
 		r.Speedup = float64(r.HostStreamTime) / float64(r.InStorageCopyTime)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 // ClusterConfig describes data-parallel training over N workers, each with
@@ -86,7 +87,7 @@ func RunCluster(cfg Config, cc ClusterConfig, system string) (*ClusterReport, er
 	gradBytes := touched * float64(spec.GradBytes)
 	woutBytes := touched * float64(spec.WeightOutBytes)
 	n := float64(cc.Workers)
-	bw := cc.InterconnectGBps // GB/s ≡ bytes/ns
+	bw := units.GBps(cc.InterconnectGBps)
 	rep := &ClusterReport{
 		System:       system,
 		Model:        cfg.Model.Name,
@@ -95,13 +96,13 @@ func RunCluster(cfg Config, cc ClusterConfig, system string) (*ClusterReport, er
 		FwdBwd:       cfg.GPU.ComputeTime(cfg.Model.StepFlops(cfg.Batch)),
 	}
 	if cc.Workers > 1 {
-		rep.AllReduce = sim.Time(2 * (n - 1) / n * gradBytes / bw)
-		rep.AllGather = sim.Time((n - 1) / n * woutBytes / bw)
+		rep.AllReduce = bw.TransferTimeF(2 * (n - 1) / n * gradBytes)
+		rep.AllGather = bw.TransferTimeF((n - 1) / n * woutBytes)
 	}
 
 	// Serial composition with the same scalar overlap applied to the
 	// optimizer phase as in the single-device model.
-	hidden := sim.Time(float64(rep.FwdBwd) * cfg.OverlapFraction)
+	hidden := rep.FwdBwd.Scale(cfg.OverlapFraction)
 	exposed := rep.ShardOptStep + rep.AllReduce + rep.AllGather - hidden
 	if exposed < 0 {
 		exposed = 0

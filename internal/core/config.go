@@ -23,6 +23,7 @@ import (
 	"repro/internal/odp"
 	"repro/internal/optim"
 	"repro/internal/ssd"
+	"repro/internal/units"
 )
 
 // Config describes one experiment point.
@@ -132,10 +133,10 @@ func (c Config) Validate() error {
 	// The on-die unit must stage every resident page of a unit plus the
 	// incoming gradient page simultaneously; a smaller buffer cannot run
 	// the kernel at all.
-	need := (c.Comps() + 1) * c.SSD.Nand.PageSize
-	if have := c.ODP.BufferKB * 1024; have < need {
+	need := units.Bytes((c.Comps() + 1) * c.SSD.Nand.PageSize)
+	if have := units.Bytes(c.ODP.BufferKB) * units.KiB; have < need {
 		return fmt.Errorf("core: ODP buffer %d KiB cannot stage %d pages of %d B (%s needs %d KiB)",
-			c.ODP.BufferKB, c.Comps()+1, c.SSD.Nand.PageSize, c.Optimizer, need/1024)
+			c.ODP.BufferKB, c.Comps()+1, c.SSD.Nand.PageSize, c.Optimizer, need/units.KiB)
 	}
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/approx"
+
 	"repro/internal/dnn"
 	"repro/internal/layout"
 	"repro/internal/optim"
@@ -240,7 +242,7 @@ func TestConfigDerivedQuantities(t *testing.T) {
 	tiny := dnn.Model{Name: "tiny", Arch: dnn.Transformer, Params: 1_000_000,
 		Layers: 2, Hidden: 64, SeqLen: 128}
 	small := DefaultConfig(tiny)
-	if small.SimUnits() != small.TotalUnits() || small.ScaleFactor() != 1 {
+	if small.SimUnits() != small.TotalUnits() || !approx.Equal(small.ScaleFactor(), 1) {
 		t.Fatal("small model should simulate fully")
 	}
 	// Mixed16 Adam: grad 2B, wout 2B per param.
@@ -321,6 +323,7 @@ func TestMixedPrecisionDriftBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//simlint:allow floateq exact zero means the fp16 path was never exercised
 	if drift == 0 {
 		t.Fatal("quantisation had no effect at all — fp16 path not exercised")
 	}
@@ -350,7 +353,7 @@ func TestReportHelpers(t *testing.T) {
 	if opt.EnergyPerParamPJ(cfg.Model.Params) <= 0 {
 		t.Fatal("energy per param")
 	}
-	if opt.EnergyPerParamPJ(0) != 0 {
+	if !approx.Equal(opt.EnergyPerParamPJ(0), 0) {
 		t.Fatal("zero params should give zero")
 	}
 	if !strings.Contains(opt.String(), "optimstore") {
@@ -506,7 +509,7 @@ func TestClusterScaling(t *testing.T) {
 		t.Fatal("slower ring should cost more all-reduce time")
 	}
 	// Workers=1 has no collectives.
-	if r1.AllReduce != 0 || r1.AllGather != 0 || r1.Efficiency != 1 {
+	if r1.AllReduce != 0 || r1.AllGather != 0 || !approx.Equal(r1.Efficiency, 1) {
 		t.Fatalf("single worker: %+v", r1)
 	}
 	if r4.AllReduce <= 0 {
@@ -650,6 +653,7 @@ func TestFunctionalCosimulation(t *testing.T) {
 		t.Log("warning: kernel executions happened in issue order; reorder not exercised")
 	}
 	for i := range gold {
+		//simlint:allow floateq co-simulation must agree bit-exactly
 		if gold[i] != cosim[i] {
 			t.Fatalf("divergence at element %d: gold=%v cosim=%v", i, gold[i], cosim[i])
 		}

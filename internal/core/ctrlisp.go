@@ -165,7 +165,7 @@ func (s *CtrlISP) Run() (*Report, error) {
 		SimUnits:         simUnits,
 		SimTime:          endTime,
 		SimEvents:        eng.Fired(),
-		OptStepTime:      sim.Time(float64(endTime) * scale),
+		OptStepTime:      endTime.Scale(scale),
 		PCIeBytes:        (gradB + woutB) * totalUnits,
 		BusBytes:         int64(float64(counts.BytesIn+counts.BytesOut) * scale),
 		NANDReadBytes:    int64(float64(counts.Reads) * float64(pageSize) * scale),

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/optim"
+	"repro/internal/units"
 )
 
 // Example runs the headline comparison on a small simulation window: the
@@ -24,7 +25,7 @@ func Example() {
 		log.Fatal(err)
 	}
 	fmt.Printf("PCIe traffic: offload %d GB, in-storage %d GB\n",
-		offload.PCIeBytes/1e9, optimstore.PCIeBytes/1e9)
+		units.Bytes(offload.PCIeBytes)/units.GB, units.Bytes(optimstore.PCIeBytes)/units.GB)
 	fmt.Printf("in-storage wins on the optimizer step: %v\n",
 		optimstore.OptStepTime < offload.OptStepTime)
 	// Output:

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 // GPUResident is the no-offload reference: weights, gradients and
@@ -54,10 +55,10 @@ func (s *GPUResident) Run() (*Report, error) {
 	// Feasibility: training footprint plus a 20% activation/workspace
 	// allowance must fit device memory.
 	needBytes := float64(s.TrainingBytesPerParam()*params) * 1.2
-	haveBytes := cfg.GPU.MemoryGB * 1e9
+	haveBytes := cfg.GPU.MemoryGB * units.BytesPerGB
 	if needBytes > haveBytes {
 		r.Feasible = false
-		r.Notes = fmt.Sprintf("needs %.1f GB, GPU has %.0f GB", needBytes/1e9, cfg.GPU.MemoryGB)
+		r.Notes = fmt.Sprintf("needs %.1f GB, GPU has %.0f GB", needBytes/units.BytesPerGB, cfg.GPU.MemoryGB)
 		return r, nil
 	}
 	r.Feasible = true

@@ -187,7 +187,7 @@ func (s *HostOffload) Run() (*Report, error) {
 		SimUnits:         simUnits,
 		SimTime:          endTime,
 		SimEvents:        eng.Fired(),
-		OptStepTime:      sim.Time(float64(endTime) * scale),
+		OptStepTime:      endTime.Scale(scale),
 		PCIeBytes:        2 * residentB * totalUnits,
 		BusBytes:         int64(float64(counts.BytesIn+counts.BytesOut) * scale),
 		NANDReadBytes:    int64(float64(counts.Reads) * float64(pageSize) * scale),

@@ -247,7 +247,7 @@ func (s *OptimStore) report(cfg Config, dev *ssd.Device, units [][]*odp.Unit, li
 		SimTime:    endTime,
 		SimEvents:  fired,
 		// The step is throughput-bound: extrapolate the window linearly.
-		OptStepTime:      sim.Time(float64(endTime) * scale),
+		OptStepTime:      endTime.Scale(scale),
 		PCIeBytes:        (gradB + woutB) * totalUnits,
 		BusBytes:         int64(float64(counts.BytesIn+counts.BytesOut) * scale),
 		NANDReadBytes:    int64(float64(counts.Reads) * float64(pageSize) * scale),

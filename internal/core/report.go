@@ -6,6 +6,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/units"
 )
 
 // Report is the outcome of running one system on one configuration. All
@@ -67,7 +68,7 @@ func (r *Report) EnergyPerParamPJ(params int64) float64 {
 	if params == 0 {
 		return 0
 	}
-	return r.Energy.Total() / float64(params) * 1e12
+	return r.Energy.Total() / float64(params) * units.PJPerJ
 }
 
 // Speedup returns how much faster this report's optimizer step is than
@@ -100,8 +101,8 @@ func ReportTable(title string, reports []*Report) *stats.Table {
 		}
 		t.AddRow(r.System, r.Model, r.Optimizer,
 			r.OptStepTime.Millis(), r.StepTime.Millis(), r.TokensPerSec,
-			float64(r.PCIeBytes)/1e9, float64(r.BusBytes)/1e9,
-			float64(r.NANDProgramBytes)/1e9, r.Energy.Total(),
+			units.Bytes(r.PCIeBytes).GBf(), units.Bytes(r.BusBytes).GBf(),
+			units.Bytes(r.NANDProgramBytes).GBf(), r.Energy.Total(),
 			r.EnergyPerParamPJ(r.Params))
 	}
 	return t

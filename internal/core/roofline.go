@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/optim"
 	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 // Roofline is the analytic lower bound of one optimizer step for each
@@ -32,7 +33,7 @@ func (r Roofline) Floor() sim.Time {
 
 // OptimStoreRoofline computes the analytic bound for the in-storage system.
 func OptimStoreRoofline(cfg Config) Roofline {
-	units := float64(cfg.TouchedUnits())
+	touched := float64(cfg.TouchedUnits())
 	gradB := float64(cfg.GradBytesPerUnit())
 	woutB := float64(cfg.WeightOutBytesPerUnit())
 	comps := float64(cfg.Comps())
@@ -43,41 +44,42 @@ func OptimStoreRoofline(cfg Config) Roofline {
 
 	var r Roofline
 	// PCIe: gradients in, weights out — full duplex, take the max.
-	in := units * gradB / (cfg.Link.EffectiveGBps()) // bytes/GBps = ns
-	out := units * woutB / (cfg.Link.EffectiveGBps())
-	r.PCIe = sim.Time(maxf(in, out))
+	ext := cfg.Link.EffectiveGBps()
+	in := touched * gradB / float64(ext) // bytes/GBps = ns
+	out := touched * woutB / float64(ext)
+	r.PCIe = units.Nanos(maxf(in, out))
 	// Channel buses carry gradients in and weights out, aggregate.
-	busBps := cfg.SSD.ChannelMBps() * 1e6
-	r.Bus = sim.Time(units * (gradB + woutB) / busBps * 1e9)
+	bus := cfg.SSD.ChannelMBps().Bps()
+	r.Bus = bus.TransferTimeF(touched * (gradB + woutB))
 	// Media: each unit's pages are read (per pass) and programmed once,
 	// spread across all planes. Reads and programs of one page share its
 	// plane, so their times add.
-	perPlanePages := units * comps / planes
+	perPlanePages := touched * comps / planes
 	tR := float64(cfg.SSD.Nand.ReadLatency)
 	tP := float64(cfg.SSD.Nand.ProgramLatency)
-	r.Media = sim.Time(perPlanePages * (passes*tR + tP))
+	r.Media = units.Nanos(perPlanePages * (passes*tR + tP))
 	// ODP compute, spread across dies.
 	elems := float64(cfg.ElemsPerPage())
-	r.ODP = sim.Time(units / dies * float64(cfg.ODP.ComputeTime(int(elems), kernel.FlopsPerElem)))
+	r.ODP = units.Nanos(touched / dies * float64(cfg.ODP.ComputeTime(int(elems), kernel.FlopsPerElem)))
 	return r
 }
 
 // HostOffloadRoofline computes the analytic bound for the baseline.
 func HostOffloadRoofline(cfg Config) Roofline {
-	units := float64(cfg.TouchedUnits())
+	touched := float64(cfg.TouchedUnits())
 	residentB := float64(cfg.ResidentBytesPerUnit())
 	comps := float64(cfg.Comps())
 	planes := float64(cfg.SSD.Geometry().Planes())
 
 	var r Roofline
 	// Resident state crosses PCIe both ways (full duplex: per direction).
-	r.PCIe = sim.Time(units * residentB / cfg.Link.EffectiveGBps())
+	r.PCIe = cfg.Link.EffectiveGBps().TransferTimeF(touched * residentB)
 	// And the channel buses both ways (half duplex: sum).
-	busBps := cfg.SSD.ChannelMBps() * 1e6
-	r.Bus = sim.Time(units * 2 * residentB / busBps * 1e9)
+	bus := cfg.SSD.ChannelMBps().Bps()
+	r.Bus = bus.TransferTimeF(touched * 2 * residentB)
 	// Media: read once, program once per page.
-	perPlanePages := units * comps / planes
-	r.Media = sim.Time(perPlanePages *
+	perPlanePages := touched * comps / planes
+	r.Media = units.Nanos(perPlanePages *
 		float64(cfg.SSD.Nand.ReadLatency+cfg.SSD.Nand.ProgramLatency))
 	return r
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/optim"
 	"repro/internal/sim"
 	"repro/internal/ssd"
+	"repro/internal/units"
 )
 
 // System runs one experiment configuration and produces a Report.
@@ -134,7 +135,7 @@ func gradSchedule(cfg Config, nChunks int64) []sim.Time {
 	scale := cfg.ScaleFactor()
 	for k := int64(0); k < nChunks; k++ {
 		t := (fwd + bwd*float64(k+1)/float64(nChunks)) / scale
-		avail[k] = sim.Time(t)
+		avail[k] = units.Nanos(t)
 	}
 	return avail
 }
@@ -153,7 +154,7 @@ func (c Config) endToEnd(r *Report) {
 		}
 		r.OptStepTime = r.StepTime - fwdBwd // exposed optimizer cost
 	} else {
-		hidden := sim.Time(float64(fwdBwd) * c.OverlapFraction)
+		hidden := fwdBwd.Scale(c.OverlapFraction)
 		exposed := r.OptStepTime - hidden
 		if exposed < 0 {
 			exposed = 0

@@ -3,6 +3,8 @@ package dnn
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/approx"
 )
 
 func TestZooValid(t *testing.T) {
@@ -59,7 +61,7 @@ func TestTransformerFlops(t *testing.T) {
 	if fwd < want*0.99 || fwd > want*1.01 {
 		t.Fatalf("fwd flops = %g, want %g", fwd, want)
 	}
-	if m.StepFlops(4) != 3*fwd*4 {
+	if !approx.Equal(m.StepFlops(4), 3*fwd*4) {
 		t.Fatal("step flops should be 3× fwd × batch")
 	}
 	if m.BatchTokens(4) != 4*2048 {
@@ -69,7 +71,7 @@ func TestTransformerFlops(t *testing.T) {
 
 func TestCNNFlops(t *testing.T) {
 	m := ResNet50()
-	if m.FwdFlopsPerSample() != 4.1e9 {
+	if !approx.Equal(m.FwdFlopsPerSample(), 4.1e9) {
 		t.Fatal("cnn fwd flops")
 	}
 	if m.BatchTokens(32) != 32 {
@@ -82,13 +84,13 @@ func TestDLRMSparse(t *testing.T) {
 	if err := m.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if m.UpdateFraction() != 0.001 {
+	if !approx.Equal(m.UpdateFraction(), 0.001) {
 		t.Fatalf("update fraction = %v", m.UpdateFraction())
 	}
-	if GPT13B().UpdateFraction() != 1 {
+	if !approx.Equal(GPT13B().UpdateFraction(), 1) {
 		t.Fatal("dense models should update everything")
 	}
-	if m.FwdFlopsPerSample() != 1e9 {
+	if !approx.Equal(m.FwdFlopsPerSample(), 1e9) {
 		t.Fatal("recommender flops")
 	}
 }
@@ -134,6 +136,7 @@ func TestFormatCount(t *testing.T) {
 		175_000_000_000: "175.0B",
 		2e12:            "2.0T",
 	}
+	//simlint:allow maporder table-driven cases, each asserted independently
 	for in, want := range cases {
 		if got := FormatCount(in); got != want {
 			t.Errorf("FormatCount(%d) = %q, want %q", in, got, want)

@@ -122,17 +122,26 @@ func (m Model) String() string {
 	return fmt.Sprintf("%s (%s params)", m.Name, FormatCount(m.Params))
 }
 
+// SI thresholds for parameter-count formatting (dimensionless counts,
+// not bytes — so named numbers rather than units.Bytes).
+const (
+	trillion = 1e12
+	billion  = 1e9
+	million  = 1e6
+	thousand = 1e3
+)
+
 // FormatCount renders a parameter count as 340M / 13B style text.
 func FormatCount(n int64) string {
 	switch {
-	case n >= 1e12:
-		return fmt.Sprintf("%.1fT", float64(n)/1e12)
-	case n >= 1e9:
-		return fmt.Sprintf("%.1fB", float64(n)/1e9)
-	case n >= 1e6:
-		return fmt.Sprintf("%.0fM", float64(n)/1e6)
-	case n >= 1e3:
-		return fmt.Sprintf("%.0fK", float64(n)/1e3)
+	case n >= trillion:
+		return fmt.Sprintf("%.1fT", float64(n)/trillion)
+	case n >= billion:
+		return fmt.Sprintf("%.1fB", float64(n)/billion)
+	case n >= million:
+		return fmt.Sprintf("%.0fM", float64(n)/million)
+	case n >= thousand:
+		return fmt.Sprintf("%.0fK", float64(n)/thousand)
 	default:
 		return fmt.Sprintf("%d", n)
 	}

@@ -3,6 +3,8 @@ package ecc
 import (
 	"math"
 	"testing"
+
+	"repro/internal/approx"
 	"testing/quick"
 
 	"repro/internal/nand"
@@ -33,10 +35,10 @@ func TestBCHBadArgsPanic(t *testing.T) {
 
 func TestUncorrectableProbEndpoints(t *testing.T) {
 	s := Default()
-	if p := s.UncorrectableProb(0); p != 0 {
+	if p := s.UncorrectableProb(0); !approx.Equal(p, 0) {
 		t.Fatalf("p(0) = %v", p)
 	}
-	if p := s.UncorrectableProb(1); p != 1 {
+	if p := s.UncorrectableProb(1); !approx.Equal(p, 1) {
 		t.Fatalf("p(1) = %v", p)
 	}
 	// Far below capability: essentially zero.

@@ -3,6 +3,8 @@ package energy
 import (
 	"math"
 	"testing"
+
+	"repro/internal/approx"
 )
 
 func TestDefaultCostsValid(t *testing.T) {
@@ -45,7 +47,7 @@ func TestEvaluate(t *testing.T) {
 	if math.Abs(b.Compute-18) > 1e-9 {
 		t.Fatalf("compute energy = %v, want 18 J", b.Compute)
 	}
-	if b.NANDProgram != 0 || b.PCIe != 0 {
+	if !approx.Equal(b.NANDProgram, 0) || !approx.Equal(b.PCIe, 0) {
 		t.Fatal("untouched components should be zero")
 	}
 	if math.Abs(b.Total()-33) > 1e-9 {
@@ -57,14 +59,15 @@ func TestBreakdownAddScale(t *testing.T) {
 	a := Breakdown{NANDRead: 1, Bus: 2, Compute: 3}
 	b := Breakdown{NANDRead: 10, PCIe: 5}
 	sum := a.Add(b)
-	if sum.NANDRead != 11 || sum.Bus != 2 || sum.PCIe != 5 || sum.Compute != 3 {
+	if !approx.Equal(sum.NANDRead, 11) || !approx.Equal(sum.Bus, 2) ||
+		!approx.Equal(sum.PCIe, 5) || !approx.Equal(sum.Compute, 3) {
 		t.Fatalf("Add = %+v", sum)
 	}
 	sc := a.Scale(2)
-	if sc.NANDRead != 2 || sc.Bus != 4 || sc.Compute != 6 {
+	if !approx.Equal(sc.NANDRead, 2) || !approx.Equal(sc.Bus, 4) || !approx.Equal(sc.Compute, 6) {
 		t.Fatalf("Scale = %+v", sc)
 	}
-	if sc.Total() != 12 {
+	if !approx.Equal(sc.Total(), 12) {
 		t.Fatalf("Total = %v", sc.Total())
 	}
 }
@@ -77,6 +80,7 @@ func TestEvaluateAllComponents(t *testing.T) {
 		ODPOps: 1, GPUOps: 1, CPUOps: 1,
 	}
 	b := c.Evaluate(a)
+	//simlint:allow maporder table-driven cases, each asserted independently
 	for name, v := range map[string]float64{
 		"NANDRead": b.NANDRead, "NANDProgram": b.NANDProgram,
 		"NANDErase": b.NANDErase, "Bus": b.Bus, "PCIe": b.PCIe,

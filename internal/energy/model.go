@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/odp"
+	"repro/internal/units"
 )
 
 // Costs is the per-operation energy table, in picojoules.
@@ -38,7 +39,7 @@ func DefaultCosts() Costs {
 		PCIePJPerByte:        60,
 		DRAMPJPerByte:        40,
 		HBMPJPerByte:         7,
-		ODPOpPJ:              odp.OpEnergyPJ(),
+		ODPOpPJ:              float64(odp.OpEnergyPJ()),
 		GPUOpPJ:              1.5,
 		CPUOpPJ:              80,
 	}
@@ -106,7 +107,9 @@ func (b Breakdown) Scale(k float64) Breakdown {
 	}
 }
 
-const pj = 1e-12
+// pj converts picojoules to joules. Constant arithmetic is exact, so this
+// is the same float64 as a literal 1e-12.
+const pj = 1 / units.PJPerJ
 
 // Accounting input counters; the caller fills what its system touched.
 type Activity struct {

@@ -9,8 +9,10 @@ import (
 	"repro/internal/nand"
 	"repro/internal/optim"
 	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/stats"
+	"repro/internal/units"
 )
 
 // runF7 regenerates the data-layout ablation: the OptimStore engine on
@@ -49,7 +51,7 @@ func runF7(opts Options) (*Result, error) {
 			baseline = sec
 		}
 		t.AddRow(layout.Strategies()[i].String(), res.Value.coloc, sec,
-			float64(res.Value.report.BusBytes)/1e9, sec/baseline)
+			units.Bytes(res.Value.report.BusBytes).GBf(), sec/baseline)
 		s.Add(float64(i), sec)
 	}
 	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
@@ -79,7 +81,7 @@ func runF8(opts Options) (*Result, error) {
 				life = fmt.Sprintf("%.0f", end.LifetimeSteps)
 			}
 			t.AddRow(prec.String(), r.System, r.OptStepTime.Seconds(),
-				float64(r.PCIeBytes)/1e9, float64(r.NANDProgramBytes)/1e9,
+				units.Bytes(r.PCIeBytes).GBf(), units.Bytes(r.NANDProgramBytes).GBf(),
 				r.Energy.Total(), life)
 		}
 	}
@@ -160,7 +162,7 @@ func measureRegionWAF(overProvision float64, random bool, steps int) (waf, updat
 		}
 	}
 	var baseHost, baseGC uint64
-	var startTime, endTime int64
+	var startTime, endTime sim.Time
 	for s := 0; s < steps; s++ {
 		for _, lpa := range order {
 			dev.ProgramUpdate(lpa, nil)
@@ -174,17 +176,17 @@ func measureRegionWAF(overProvision float64, random bool, steps int) (waf, updat
 		if s == 0 {
 			baseHost = dev.FTL().HostProgrammed()
 			baseGC = dev.FTL().GCProgrammed()
-			startTime = int64(eng.Now())
+			startTime = eng.Now()
 		}
 	}
-	endTime = int64(eng.Now())
+	endTime = eng.Now()
 	host := dev.FTL().HostProgrammed() - baseHost
 	gc := dev.FTL().GCProgrammed() - baseGC
 	if host == 0 {
 		return 1, 0, nil
 	}
 	waf = float64(host+gc) / float64(host)
-	elapsed := float64(endTime-startTime) / 1e9
+	elapsed := (endTime - startTime).Seconds()
 	if elapsed > 0 {
 		updatesPerSec = float64(host) / elapsed
 	}

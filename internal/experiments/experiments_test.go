@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/approx"
 )
 
 var quick = Options{Quick: true}
@@ -365,7 +367,7 @@ func TestF17SuspendImprovesTail(t *testing.T) {
 	if preempts := cell(t, tab.Row(1), 4); preempts <= 0 {
 		t.Fatal("no preemptions recorded")
 	}
-	if preempts := cell(t, tab.Row(0), 4); preempts != 0 {
+	if preempts := cell(t, tab.Row(0), 4); !approx.Equal(preempts, 0) {
 		t.Fatal("preemptions without suspend")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/stats"
+	"repro/internal/units"
 )
 
 // runF13 regenerates the sparse-update extension study: embedding-table
@@ -40,7 +41,7 @@ func runF13(opts Options) (*Result, error) {
 		return sparsePoint{
 			off:       rs[0],
 			opt:       rs[1],
-			touchedGB: float64(cfg.TouchedUnits()*cfg.ResidentBytesPerUnit()) / 1e9,
+			touchedGB: units.Bytes(cfg.TouchedUnits() * cfg.ResidentBytesPerUnit()).GBf(),
 		}, nil
 	})
 	if err := runner.FirstErr(results); err != nil {
@@ -73,7 +74,7 @@ func runF14(opts Options) (*Result, error) {
 	}
 	for i, m := range models {
 		r := results[i].Value
-		t.AddRow(m.Name, float64(r.StateBytes)/1e9, r.HostStreamTime.Seconds(),
+		t.AddRow(m.Name, units.Bytes(r.StateBytes).GBf(), r.HostStreamTime.Seconds(),
 			r.InStorageCopyTime.Seconds(), r.Speedup, r.CapacityOK)
 	}
 	return &Result{Tables: []*stats.Table{t}}, nil
@@ -262,10 +263,10 @@ func runF18(opts Options) (*Result, error) {
 		p := results[i].Value
 		if p.end.Fits {
 			t.AddRow(cell.String(), p.tprog, p.report.OptStepTime.Seconds(),
-				float64(p.end.DeviceBytes)/1e12, p.end.LifetimeSteps, p.end.LifetimeDays)
+				units.Bytes(p.end.DeviceBytes).TBf(), p.end.LifetimeSteps, p.end.LifetimeDays)
 		} else {
 			t.AddRow(cell.String(), p.tprog, p.report.OptStepTime.Seconds(),
-				float64(p.end.DeviceBytes)/1e12, "-", "-")
+				units.Bytes(p.end.DeviceBytes).TBf(), "-", "-")
 		}
 		s.Add(float64(i+1), p.report.OptStepTime.Seconds())
 	}
@@ -343,7 +344,7 @@ func measureSkewedWAF(separation bool, rounds int) (waf float64, relocs uint64, 
 	total := pages * int64(rounds)
 	var issued, done int64
 	var baseHost, baseGC uint64
-	var startNs int64
+	var start sim.Time
 	var pump func()
 	pump = func() {
 		for issued-done < 64 && issued < total {
@@ -353,7 +354,7 @@ func measureSkewedWAF(separation bool, rounds int) (waf float64, relocs uint64, 
 				if done == total/4 { // skip warm-up for steady-state WAF
 					baseHost = dev.FTL().HostProgrammed()
 					baseGC = dev.FTL().GCProgrammed()
-					startNs = int64(eng.Now())
+					start = eng.Now()
 				}
 				pump()
 			})
@@ -372,7 +373,7 @@ func measureSkewedWAF(separation bool, rounds int) (waf float64, relocs uint64, 
 		return 1, 0, 0, nil
 	}
 	waf = float64(host+gc) / float64(host)
-	elapsed := float64(int64(eng.Now())-startNs) / 1e9
+	elapsed := (eng.Now() - start).Seconds()
 	if elapsed > 0 {
 		rate = float64(host) / elapsed
 	}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// renderAll produces every byte an experiment run can emit — the rendered
+// result (tables and figure data) plus each table's CSV, the formats the
+// CLI writes to disk. Determinism claims below are over this full stream.
+func renderAll(t *testing.T, opts Options) string {
+	t.Helper()
+	results, _, err := RunMany([]string{"T2", "F1"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, r := range results {
+		b.WriteString(r.String())
+		for _, tb := range r.Tables {
+			b.WriteString(tb.CSV())
+		}
+		for _, f := range r.Figures {
+			b.WriteString(f.Table().CSV())
+		}
+	}
+	return b.String()
+}
+
+// TestGoldenDeterminism is the repository's end-to-end determinism pin:
+// a small experiment suite rendered to its on-disk formats must be
+// byte-identical across repeated runs and across worker-pool widths
+// (sequential vs one worker per CPU). Any nondeterminism that slips past
+// the simlint analyzers — wall-clock reads, global rand, map iteration
+// feeding output — lands here.
+func TestGoldenDeterminism(t *testing.T) {
+	seq := Options{Quick: true, Parallel: 1}
+	wide := Options{Quick: true, Parallel: runtime.GOMAXPROCS(0)}
+
+	golden := renderAll(t, seq)
+	if golden == "" {
+		t.Fatal("empty experiment output")
+	}
+	if again := renderAll(t, seq); again != golden {
+		t.Fatalf("sequential rerun differs:\n--- first ---\n%s--- rerun ---\n%s", golden, again)
+	}
+	if par := renderAll(t, wide); par != golden {
+		t.Fatalf("parallel (%d workers) output differs from sequential:\n--- seq ---\n%s--- par ---\n%s",
+			runtime.GOMAXPROCS(0), golden, par)
+	}
+	if par := renderAll(t, wide); par != renderAll(t, wide) {
+		t.Fatal("parallel rerun differs from itself")
+	}
+}

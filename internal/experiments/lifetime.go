@@ -7,6 +7,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/nand"
 	"repro/internal/stats"
+	"repro/internal/units"
 )
 
 // runF9 regenerates the endurance study: device lifetime under the
@@ -24,10 +25,10 @@ func runF9(opts Options) (*Result, error) {
 			return nil, err
 		}
 		if !rep.Fits {
-			t.AddRow(cell.String(), float64(rep.DeviceBytes)/1e12, false, "-", "-", "-")
+			t.AddRow(cell.String(), units.Bytes(rep.DeviceBytes).TBf(), false, "-", "-", "-")
 			continue
 		}
-		t.AddRow(cell.String(), float64(rep.DeviceBytes)/1e12, true, rep.MeasuredWAF,
+		t.AddRow(cell.String(), units.Bytes(rep.DeviceBytes).TBf(), true, rep.MeasuredWAF,
 			rep.LifetimeSteps, rep.LifetimeDays)
 		s.Add(float64(i), rep.LifetimeSteps)
 	}
@@ -44,10 +45,10 @@ func runF9(opts Options) (*Result, error) {
 			return nil, err
 		}
 		if !rep.Fits {
-			t2.AddRow(m.Name, float64(rep.StateBytes)/1e9, "-", "-")
+			t2.AddRow(m.Name, units.Bytes(rep.StateBytes).GBf(), "-", "-")
 			continue
 		}
-		t2.AddRow(m.Name, float64(rep.StateBytes)/1e9, rep.LifetimeSteps, rep.LifetimeDays)
+		t2.AddRow(m.Name, units.Bytes(rep.StateBytes).GBf(), rep.LifetimeSteps, rep.LifetimeDays)
 	}
 	return &Result{Tables: []*stats.Table{t, t2}, Figures: []*stats.Figure{fig}}, nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/odp"
 	"repro/internal/optim"
 	"repro/internal/stats"
+	"repro/internal/units"
 )
 
 // runT1 regenerates the system-configuration table (paper analogue:
@@ -18,7 +19,7 @@ func runT1(opts Options) (*Result, error) {
 	n := cfg.SSD.Nand
 	geo := cfg.SSD.Geometry()
 	t.AddRow("NAND", "cell type", n.Cell.String())
-	t.AddRow("NAND", "page size", fmt.Sprintf("%d KiB", n.PageSize/1024))
+	t.AddRow("NAND", "page size", fmt.Sprintf("%d KiB", units.Bytes(n.PageSize)/units.KiB))
 	t.AddRow("NAND", "tR / page", n.ReadLatency.String())
 	t.AddRow("NAND", "tPROG / page (wordline-amortised)", n.ProgramLatency.String())
 	t.AddRow("NAND", "tBERS", n.EraseLatency.String())
@@ -28,8 +29,8 @@ func runT1(opts Options) (*Result, error) {
 			n.PlanesPerDie, geo.Planes()))
 	t.AddRow("SSD", "channel bus", fmt.Sprintf("%d MB/s", n.BusMBps))
 	t.AddRow("SSD", "over-provisioning", fmt.Sprintf("%.1f%%", cfg.SSD.OverProvision*100))
-	t.AddRow("SSD", "internal read BW", fmt.Sprintf("%.1f GB/s", cfg.SSD.InternalReadMBps()/1000))
-	t.AddRow("SSD", "internal program BW", fmt.Sprintf("%.1f GB/s", cfg.SSD.InternalProgramMBps()/1000))
+	t.AddRow("SSD", "internal read BW", fmt.Sprintf("%.1f GB/s", cfg.SSD.InternalReadMBps().GBps()))
+	t.AddRow("SSD", "internal program BW", fmt.Sprintf("%.1f GB/s", cfg.SSD.InternalProgramMBps().GBps()))
 	t.AddRow("ODP", "lanes × clock", fmt.Sprintf("%d × %d MHz", cfg.ODP.Lanes, cfg.ODP.ClockMHz))
 	t.AddRow("ODP", "buffer", fmt.Sprintf("%d KiB", cfg.ODP.BufferKB))
 	cost := odp.CostFor(cfg.ODP)
@@ -54,10 +55,10 @@ func runT2(Options) (*Result, error) {
 		"model", "params", "state-GB", "grad-GB", "offload-traffic-GB",
 		"instore-traffic-GB", "fits-A100-40G")
 	for _, m := range dnn.Zoo() {
-		state := float64(m.Params) * float64(spec.ResidentBytes()) / 1e9
-		grad := float64(m.Params) * float64(spec.GradBytes) / 1e9
-		offload := float64(m.Params) * float64(spec.OffloadTrafficBytes()) / 1e9
-		instore := float64(m.Params) * float64(spec.HostTrafficBytes()) / 1e9
+		state := float64(m.Params) * float64(spec.ResidentBytes()) / units.BytesPerGB
+		grad := float64(m.Params) * float64(spec.GradBytes) / units.BytesPerGB
+		offload := float64(m.Params) * float64(spec.OffloadTrafficBytes()) / units.BytesPerGB
+		instore := float64(m.Params) * float64(spec.HostTrafficBytes()) / units.BytesPerGB
 		// GPU-resident footprint: working weights + grads + full state.
 		fits := float64(m.Params)*float64(spec.ResidentBytes()+spec.GradBytes+spec.WeightOutBytes)*1.2 < 40e9
 		t.AddRow(m.Name, dnn.FormatCount(m.Params), state, grad, offload, instore, fits)

@@ -19,7 +19,9 @@ func TestExactValues(t *testing.T) {
 		1024:         1024,
 		1.5:          1.5,
 	}
+	//simlint:allow maporder table-driven cases, each asserted independently
 	for in, want := range cases {
+		//simlint:allow floateq fp16 rounding is specified bit-exact
 		if got := Round(in); got != want {
 			t.Errorf("Round(%v) = %v, want %v", in, got, want)
 		}
@@ -41,6 +43,7 @@ func TestOverflowToInf(t *testing.T) {
 }
 
 func TestUnderflowToZero(t *testing.T) {
+	//simlint:allow floateq fp16 rounding is specified bit-exact
 	if got := Round(1e-9); got != 0 {
 		t.Fatalf("1e-9 -> %v, want 0 (below subnormal range)", got)
 	}
@@ -53,6 +56,7 @@ func TestUnderflowToZero(t *testing.T) {
 
 func TestSubnormals(t *testing.T) {
 	// Smallest subnormal: 2^-24.
+	//simlint:allow floateq fp16 rounding is specified bit-exact
 	if got := Round(MinSubnormal); got != MinSubnormal {
 		t.Fatalf("min subnormal round trip = %v", got)
 	}
@@ -159,12 +163,14 @@ func TestRoundSlice(t *testing.T) {
 	dst := make([]float32, len(src))
 	RoundSlice(dst, src)
 	for i := range src {
+		//simlint:allow floateq fp16 rounding is specified bit-exact
 		if dst[i] != Round(src[i]) {
 			t.Fatal("RoundSlice mismatch")
 		}
 	}
 	// Aliasing is allowed.
 	RoundSlice(src, src)
+	//simlint:allow floateq 0 is the untouched sentinel
 	if src[1] != 0 {
 		t.Fatal("in-place rounding")
 	}
@@ -178,11 +184,13 @@ func TestRoundSlice(t *testing.T) {
 
 func TestMaxRelError(t *testing.T) {
 	// Exactly representable values: zero error.
+	//simlint:allow floateq exact representables must report zero error
 	if e := MaxRelError([]float32{1, 2, 0.5, 0}); e != 0 {
 		t.Fatalf("exact values err = %v", e)
 	}
 	// A dense value errs but within epsilon.
 	e := MaxRelError([]float32{0.1, 0.2, 0.3})
+	//simlint:allow floateq exact zero would mean the error path was skipped
 	if e == 0 || e > Epsilon {
 		t.Fatalf("err = %v", e)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 // CPUParams describes a host-CPU (or SSD-controller) update engine: the
@@ -40,12 +41,12 @@ func (p CPUParams) Validate() error {
 // KernelTime is the roofline estimate for an element-wise kernel touching
 // the given bytes with the given FLOPs.
 func (p CPUParams) KernelTime(flops, bytes float64) sim.Time {
-	mem := bytes / (p.DRAMGBps * 1e9) * 1e9 // ns
-	cmp := flops / (p.GFLOPS * 1e9) * 1e9   // ns
+	mem := units.GBps(p.DRAMGBps).Bps().TransferTimeF(bytes)
+	cmp := units.Nanos(flops / (p.GFLOPS * units.FLOPSPerGFLOPS) * units.NsPerSec)
 	if cmp > mem {
-		return sim.Time(cmp)
+		return cmp
 	}
-	return sim.Time(mem)
+	return mem
 }
 
 // CPU is a simulated update engine executing one kernel at a time.

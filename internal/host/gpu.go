@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 // GPUParams is a roofline description of a training accelerator.
@@ -50,8 +51,8 @@ func (p GPUParams) ComputeTime(flops float64) sim.Time {
 	if flops <= 0 {
 		return 0
 	}
-	sec := flops / (p.PeakTFLOPS * 1e12 * p.MFU)
-	return sim.Time(sec * 1e9)
+	sec := flops / (p.PeakTFLOPS * units.FLOPSPerTFLOPS * p.MFU)
+	return units.Seconds(sec)
 }
 
 // MemTime returns the time to stream the given bytes through HBM.
@@ -59,8 +60,8 @@ func (p GPUParams) MemTime(bytes float64) sim.Time {
 	if bytes <= 0 {
 		return 0
 	}
-	sec := bytes / (p.HBMGBps * 1e9)
-	return sim.Time(sec * 1e9)
+	sec := bytes / (p.HBMGBps * units.BytesPerGB)
+	return units.Seconds(sec)
 }
 
 // KernelTime is the roofline estimate: the slower of compute and memory.

@@ -3,6 +3,8 @@ package host
 import (
 	"testing"
 
+	"repro/internal/approx"
+
 	"repro/internal/sim"
 )
 
@@ -134,7 +136,7 @@ func TestGPURunSerializes(t *testing.T) {
 	if ends[0] != sim.Millisecond || ends[1] != 2*sim.Millisecond {
 		t.Fatalf("ends = %v", ends)
 	}
-	if g.Flops() != 2e9 {
+	if !approx.Equal(g.Flops(), 2e9) {
 		t.Fatal("flop counter")
 	}
 	if g.Params().Name != "g" {
@@ -180,7 +182,7 @@ func TestCPURun(t *testing.T) {
 	if at != 1000 {
 		t.Fatalf("ran at %v", at)
 	}
-	if c.DRAMBytes() != 1000 || c.Flops() != 0 {
+	if !approx.Equal(c.DRAMBytes(), 1000) || !approx.Equal(c.Flops(), 0) {
 		t.Fatal("counters")
 	}
 	if c.Params().Name != "c" {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 // LinkParams describes a full-duplex host↔device interconnect.
@@ -52,14 +53,14 @@ func (p LinkParams) Validate() error {
 }
 
 // EffectiveGBps is the usable per-direction bandwidth.
-func (p LinkParams) EffectiveGBps() float64 { return p.GBps * p.Efficiency }
+func (p LinkParams) EffectiveGBps() units.GBps { return units.GBps(p.GBps * p.Efficiency) }
 
 // TransferTime returns the wire occupancy for n bytes (excluding Latency).
 func (p LinkParams) TransferTime(n int64) sim.Time {
 	if n <= 0 {
 		return 0
 	}
-	t := sim.Time(float64(n) / p.EffectiveGBps()) // bytes / (GB/s) = ns
+	t := p.EffectiveGBps().TransferTime(units.Bytes(n))
 	if t < 1 {
 		t = 1
 	}

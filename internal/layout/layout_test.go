@@ -2,6 +2,8 @@ package layout
 
 import (
 	"testing"
+
+	"repro/internal/approx"
 	"testing/quick"
 
 	"repro/internal/nand"
@@ -82,7 +84,7 @@ func TestColocatedProperties(t *testing.T) {
 			t.Fatalf("unit %d distinct planes = %d", u, p.DistinctPlanes)
 		}
 	}
-	if f := l.ColocationFraction(); f != 1 {
+	if f := l.ColocationFraction(); !approx.Equal(f, 1) {
 		t.Fatalf("colocation fraction = %v", f)
 	}
 }
@@ -105,7 +107,7 @@ func TestColocatedBalancesDies(t *testing.T) {
 
 func TestSplitNeverColocates(t *testing.T) {
 	l := mustNew(t, 3, 1000, SplitByComponent)
-	if f := l.ColocationFraction(); f != 0 {
+	if f := l.ColocationFraction(); !approx.Equal(f, 0) {
 		t.Fatalf("split colocation fraction = %v, want 0", f)
 	}
 }

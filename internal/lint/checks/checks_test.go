@@ -1,0 +1,30 @@
+package checks_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/checks"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer runs over a testdata package holding at least one
+// positive (flagged, `// want`-annotated) and one negative case, plus an
+// exercised //simlint:allow directive.
+
+func TestNondeterminism(t *testing.T) {
+	linttest.Run(t, checks.Nondeterminism, "testdata/nondeterminism")
+}
+
+// TestUnitConv includes the acceptance-gate case: the PR 1 buskbps-style
+// `busMBps / 1000` conversion reintroduced in testdata must be flagged.
+func TestUnitConv(t *testing.T) {
+	linttest.Run(t, checks.UnitConv, "testdata/unitconv")
+}
+
+func TestFloatEq(t *testing.T) {
+	linttest.Run(t, checks.FloatEq, "testdata/floateq")
+}
+
+func TestSimTime(t *testing.T) {
+	linttest.Run(t, checks.SimTime, "testdata/simtime")
+}

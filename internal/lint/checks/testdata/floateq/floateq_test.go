@@ -1,0 +1,79 @@
+// Package floateq exercises the floateq analyzer. Only _test.go files are
+// inspected, so this package is all test file.
+package floateq
+
+import (
+	"math"
+	"testing"
+)
+
+func compute() float64 { return 0.1 + 0.2 }
+
+func TestExactComparisonFlagged(t *testing.T) {
+	got := compute()
+	if got == 0.3 { // want `exact float comparison`
+		t.Log("lucky rounding")
+	}
+	if got != 0.3 { // want `exact float comparison`
+		t.Log("expected drift")
+	}
+	var f32 float32 = 0.5
+	if f32 == float32(got) { // want `exact float comparison`
+		t.Log("float32 too")
+	}
+}
+
+func TestIntComparisonFine(t *testing.T) {
+	n := len("abc")
+	if n != 3 {
+		t.Fatal("ints compare exactly")
+	}
+}
+
+// approxEqual implements the tolerance machinery; it may compare floats.
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// withinDelta is another helper shape the name pattern must admit.
+func withinDelta(t *testing.T, got, want float64) {
+	t.Helper()
+	if got == want {
+		return
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestViaHelperFine(t *testing.T) {
+	if !approxEqual(compute(), 0.3, 1e-12) {
+		t.Fatal("not close")
+	}
+	withinDelta(t, compute(), 0.3)
+}
+
+func TestNaNIdiomFine(t *testing.T) {
+	x := compute()
+	if x != x { // the portable NaN check
+		t.Fatal("NaN")
+	}
+}
+
+func TestAllowedBitExact(t *testing.T) {
+	a, b := compute(), compute()
+	//simlint:allow floateq determinism test: same inputs must give identical bits
+	if a != b {
+		t.Fatal("nondeterministic arithmetic")
+	}
+}
+
+func TestConstantsFine(t *testing.T) {
+	const eps = 1e-9
+	if eps == 1e-9 { // both sides constant: compile-time fact
+		t.Log("ok")
+	}
+}

@@ -1,0 +1,97 @@
+// Package nondet exercises the nondeterminism analyzer: wall-clock reads,
+// global math/rand, and map-order iteration are flagged; seeded
+// generators, slice ranges and allow-directives are not.
+package nondet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallclock() time.Duration {
+	start := time.Now()          // want `wall-clock call time\.Now`
+	time.Sleep(time.Millisecond) // want `wall-clock call time\.Sleep`
+	elapsed := time.Since(start) // want `wall-clock call time\.Since`
+	return elapsed
+}
+
+// Line above the sleep carries its own want: Sleep is on the next line.
+func sleepy() {
+	time.Sleep(2 * time.Second) // want `wall-clock call time\.Sleep`
+}
+
+func allowedWallclock() time.Time {
+	//simlint:allow wallclock benchmarking real elapsed time is the point here
+	return time.Now()
+}
+
+func durationMathIsFine(d time.Duration) time.Duration {
+	return 2*d + time.Millisecond // durations are values, not clock reads
+}
+
+func globalRand() int {
+	x := rand.Intn(10)     // want `global math/rand call rand\.Intn`
+	y := rand.Float64()    // want `global math/rand call rand\.Float64`
+	rand.Shuffle(3, nil)   // want `global math/rand call rand\.Shuffle`
+	return x + int(y*1000) // the *1000 is unitconv's business, not ours
+}
+
+func seededRandIsFine(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.NormFloat64()
+}
+
+func mapOrder(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `range over map iterates in randomized order`
+		sum += v
+	}
+	return sum
+}
+
+func mapLenIsFine(m map[string]int) int {
+	n := 0
+	for range m { // observes only len(m); no order dependence
+		n++
+	}
+	return n
+}
+
+func sortedKeysAreFine(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `range over map`
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func allowedMapOrder(m map[string]int) bool {
+	//simlint:allow maporder pure existence check, order-free
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func sliceRangeIsFine(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+func staleDirective(s []int) int {
+	// A directive with no finding under it is itself an error, so stale
+	// suppressions cannot outlive the code they once excused.
+	//simlint:allow wallclock nothing here reads the clock any more // want `suppresses nothing`
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,39 @@
+// Package simtime exercises the simtime analyzer: bare sim.Time(x)
+// conversions of runtime values are flagged; constants, Time→Time
+// re-typings and named constructors are not.
+package simtime
+
+import (
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func rawConversions(ns float64, cycles int64) sim.Time {
+	a := sim.Time(ns)         // want `raw sim\.Time conversion`
+	b := sim.Time(cycles * 3) // want `raw sim\.Time conversion`
+	c := sim.Time(ns/2.5 + 1) // want `raw sim\.Time conversion`
+	return a + b + c
+}
+
+func constantsAreFine() sim.Time {
+	zero := sim.Time(0)
+	tick := 2 * sim.Microsecond
+	big := sim.Time(1e9) // constant literal: unit auditable in place
+	return zero + tick + big
+}
+
+func retypingIsFine(t sim.Time) sim.Time {
+	return sim.Time(t) // Time → Time carries no unit claim
+}
+
+func namedConstructorsAreFine(ns float64, cycles int64) sim.Time {
+	a := units.Nanos(ns)
+	b := units.CyclesAtMHz(cycles, 400)
+	c := units.Seconds(1.5)
+	return a + b + c
+}
+
+func allowed(ns float64) sim.Time {
+	//simlint:allow simtime ns provenance documented one line up
+	return sim.Time(ns)
+}

@@ -1,0 +1,45 @@
+// Package unitconv exercises the unitconv analyzer: raw scale-factor
+// literals applied to runtime values are flagged; constant definitions,
+// named constants and non-scale factors are not.
+package unitconv
+
+// The PR 1 buskbps regression, re-created: a bus bandwidth in MB/s
+// divided by a bare 1000 to "make it GB/s". This exact shape must flag.
+func busGBps(busMBps float64) float64 {
+	return busMBps / 1000 // want `raw unit-conversion literal 1e3`
+}
+
+func conversions(x float64, n int64) float64 {
+	a := x * 1000          // want `raw unit-conversion literal 1e3`
+	b := x / 1e9           // want `raw unit-conversion literal 1e9`
+	c := x * 1e6           // want `raw unit-conversion literal 1e6`
+	d := float64(n) / 1024 // want `raw unit-conversion literal 1024`
+	e := x * (1 << 20)     // want `raw unit-conversion literal 1024²`
+	f := 1e12 / x          // want `raw unit-conversion literal 1e12`
+	g := x * 1e-12         // want `raw unit-conversion literal 1e-12`
+	return a + b + c + d + e + f + g
+}
+
+const bufferPages = 4 * 1024 // fully constant: a definition, not a conversion
+
+const nsPerSec = 1e9
+
+func namedConstantIsFine(x float64) float64 {
+	return x * nsPerSec // naming the factor is a sanctioned fix
+}
+
+func ordinaryArithmeticIsFine(x float64, n int) float64 {
+	doubled := x * 2
+	percent := x * 100
+	perLane := x / float64(n)
+	return doubled + percent + perLane
+}
+
+func allowed(x float64) float64 {
+	//simlint:allow unitconv display-only rounding, audited
+	return x / 1e6
+}
+
+func constantFold() int64 {
+	return 16 * 1024 // both operands literal: whole expression constant
+}

@@ -1,0 +1,230 @@
+// Package lint is a minimal go/analysis-style static-analysis framework
+// built on the standard library's go/ast and go/types. It exists because
+// this repository vendors no third-party modules: the x/tools analysis
+// machinery is re-derived here at the scale the simulator needs — typed
+// packages, per-analyzer diagnostics, `//simlint:allow` suppression, and
+// an analysistest-style harness (see the linttest subpackage).
+//
+// The four shipped analyzers live in internal/lint/checks; the
+// cmd/simlint multichecker wires them over ./... as verify tier 3.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc is a one-paragraph description, shown by `simlint -help`.
+	Doc string
+	// Run inspects one typechecked unit and reports findings via
+	// pass.Report / pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos token.Pos
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Category is the sub-check within the analyzer (e.g. the
+	// nondeterminism analyzer reports wallclock, globalrand and maporder
+	// categories). Allow directives match either the category or the
+	// analyzer name.
+	Category string
+	Message  string
+}
+
+// A Pass carries one typechecked compilation unit through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the unit's syntax. For a package with in-package tests it
+	// includes the _test.go files; external (package foo_test) files form
+	// their own unit.
+	Files []*ast.File
+	// Pkg and Info are the go/types results for Files.
+	Pkg  *types.Package
+	Info *types.Info
+	// ImportPath is the unit's import path ("repro/internal/core",
+	// "repro/internal/core [xtest]" for external test units).
+	ImportPath string
+
+	diags *[]Diagnostic
+}
+
+// Report records a finding under the given category.
+func (p *Pass) Report(pos token.Pos, category, message string) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Category: category,
+		Message:  message,
+	})
+}
+
+// Reportf is Report with formatting.
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...any) {
+	p.Report(pos, category, fmt.Sprintf(format, args...))
+}
+
+// AllowDirective is the magic comment that suppresses findings:
+//
+//	//simlint:allow <name>[,<name>...] [reason...]
+//
+// where each <name> is an analyzer name, a category, or "all". The
+// directive applies to diagnostics on its own line and on the line
+// immediately below it — so it can sit at the end of the offending line
+// or on its own comment line directly above it. A reason after the names
+// is encouraged and ignored by the tool.
+//
+// A directive that suppresses nothing is itself reported (category
+// unusedallow), so stale suppressions cannot accumulate as the code
+// under them changes.
+const AllowDirective = "simlint:allow"
+
+// allowKey identifies one suppressed (file line, check name) pair.
+type allowKey struct {
+	file string
+	line int
+	name string
+}
+
+// allowDirective is one parsed name of one allow comment, tracked so
+// directives that suppress nothing can be reported as stale.
+type allowDirective struct {
+	pos  token.Pos
+	name string
+	used bool
+}
+
+// allowSet indexes every allow directive in a unit.
+type allowSet struct {
+	index map[allowKey][]*allowDirective
+	list  []*allowDirective
+}
+
+// collectAllows scans the unit's comments for allow directives.
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	allows := &allowSet{index: map[allowKey][]*allowDirective{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+AllowDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(strings.TrimSpace(text))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					d := &allowDirective{pos: c.Pos(), name: name}
+					allows.list = append(allows.list, d)
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						k := allowKey{pos.Filename, line, name}
+						allows.index[k] = append(allows.index[k], d)
+					}
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// suppressed reports whether d is covered by an allow directive, marking
+// any covering directives as used.
+func (a *allowSet) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	ok := false
+	for _, name := range []string{d.Category, d.Analyzer, "all"} {
+		for _, dir := range a.index[allowKey{pos.Filename, pos.Line, name}] {
+			dir.used = true
+			ok = true
+		}
+	}
+	return ok
+}
+
+// unused returns a diagnostic for each directive that suppressed nothing:
+// a stale allow hides future regressions at its line, so it must go.
+func (a *allowSet) unused() []Diagnostic {
+	var diags []Diagnostic
+	for _, d := range a.list {
+		if !d.used {
+			diags = append(diags, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "simlint",
+				Category: "unusedallow",
+				Message: fmt.Sprintf("//%s %s suppresses nothing here; remove the stale directive",
+					AllowDirective, d.name),
+			})
+		}
+	}
+	return diags
+}
+
+// RunAnalyzers applies each analyzer to the unit and returns the surviving
+// (non-suppressed) diagnostics in position order.
+func RunAnalyzers(unit *Unit, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       unit.Fset,
+			Files:      unit.Files,
+			Pkg:        unit.Pkg,
+			Info:       unit.Info,
+			ImportPath: unit.ImportPath,
+			diags:      &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, unit.ImportPath, err)
+		}
+	}
+	allows := collectAllows(unit.Fset, unit.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allows.suppressed(unit.Fset, d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, allows.unused()...)
+	sort.SliceStable(kept, func(i, j int) bool {
+		pi, pj := unit.Fset.Position(kept[i].Pos), unit.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return kept, nil
+}
+
+// funcNameRE helps analyzers that exempt helper functions by name.
+var funcNameRE = map[string]*regexp.Regexp{}
+
+// MatchesFuncName reports whether name matches the cached pattern.
+func MatchesFuncName(pattern, name string) bool {
+	re, ok := funcNameRE[pattern]
+	if !ok {
+		re = regexp.MustCompile(pattern)
+		funcNameRE[pattern] = re
+	}
+	return re.MatchString(name)
+}

@@ -2,6 +2,8 @@ package nand
 
 import (
 	"testing"
+
+	"repro/internal/approx"
 	"testing/quick"
 
 	"repro/internal/sim"
@@ -249,7 +251,7 @@ func TestChannelAccessors(t *testing.T) {
 	if len(c.Dies()) != 3 || c.Die(1) == nil || c.Name() != "ch" {
 		t.Fatal("accessors")
 	}
-	if u := c.BusUtilization(); u != 0 {
+	if u := c.BusUtilization(); !approx.Equal(u, 0) {
 		t.Fatalf("fresh bus utilization = %v", u)
 	}
 }
@@ -273,6 +275,7 @@ func TestWearModelMonotone(t *testing.T) {
 		}
 		prev = r
 	}
+	//simlint:allow floateq clamped input must take the identical code path
 	if m.RBER(-5) != m.RBER(0) {
 		t.Fatal("negative cycles not clamped")
 	}
@@ -299,8 +302,9 @@ func TestWearModelEndOfLife(t *testing.T) {
 func TestWearModelLifetime(t *testing.T) {
 	m := DefaultWearModel(TLC)
 	steps := m.LifetimeSteps(1000, 2.0)
+	//simlint:allow unitconv 1000 is the writes-per-step test parameter, not a unit conversion
 	want := float64(1000*m.UsableCycles()) / 2.0
-	if steps != want {
+	if !approx.Equal(steps, want) {
 		t.Fatalf("lifetime = %v, want %v", steps, want)
 	}
 	if !isInf(m.LifetimeSteps(1000, 0)) {

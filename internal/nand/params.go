@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 // CellType selects the bits-per-cell technology of a die or region.
@@ -139,7 +140,7 @@ func (p Params) TransferTime(n int) sim.Time {
 	if n <= 0 {
 		return 0
 	}
-	t := sim.Time(int64(n) * 1000 / int64(p.BusMBps)) // bytes * ns/KB at MB/s
+	t := units.MBps(p.BusMBps).TransferTimeInt(int64(n))
 	if t < 1 {
 		t = 1
 	}

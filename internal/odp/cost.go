@@ -1,5 +1,7 @@
 package odp
 
+import "repro/internal/units"
+
 // Cost is the analytic silicon cost of one on-die processing unit.
 // Constants are ballpark figures for FP units and SRAM implemented in the
 // coarse CMOS periphery process of 3D NAND (logic there is roughly a
@@ -38,4 +40,4 @@ func CostFor(p Params) Cost {
 
 // OpEnergyPJ exposes the per-operation dynamic energy constant for the
 // energy package.
-func OpEnergyPJ() float64 { return opEnergyPJ }
+func OpEnergyPJ() units.Picojoules { return opEnergyPJ }

@@ -2,6 +2,8 @@ package odp
 
 import (
 	"testing"
+
+	"repro/internal/approx"
 	"testing/quick"
 
 	"repro/internal/sim"
@@ -40,10 +42,10 @@ func TestThroughput(t *testing.T) {
 	// 13-flop Adam kernel: 400e6·8/13 ≈ 246M elems/s.
 	got := p.ThroughputElemsPerSec(13)
 	want := 400e6 * 8 / 13
-	if got != want {
+	if !approx.Equal(got, want) {
 		t.Fatalf("throughput = %v, want %v", got, want)
 	}
-	if p.ThroughputElemsPerSec(0) != 0 {
+	if !approx.Equal(p.ThroughputElemsPerSec(0), 0) {
 		t.Fatal("zero-flop kernel throughput should be 0")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 // Params describes one on-die processing unit.
@@ -59,8 +60,7 @@ func (p Params) CyclesFor(elems, flopsPerElem int) int64 {
 // ComputeTime converts CyclesFor into simulated time.
 func (p Params) ComputeTime(elems, flopsPerElem int) sim.Time {
 	cycles := p.CyclesFor(elems, flopsPerElem)
-	// ns = cycles * 1000 / MHz.
-	t := sim.Time(cycles * 1000 / int64(p.ClockMHz))
+	t := units.CyclesAtMHz(cycles, p.ClockMHz)
 	if t < 1 && cycles > 0 {
 		t = 1
 	}
@@ -72,7 +72,7 @@ func (p Params) ThroughputElemsPerSec(flopsPerElem int) float64 {
 	if flopsPerElem <= 0 {
 		return 0
 	}
-	return float64(p.ClockMHz) * 1e6 * float64(p.Lanes) / float64(flopsPerElem)
+	return float64(p.ClockMHz) * units.HzPerMHz * float64(p.Lanes) / float64(flopsPerElem)
 }
 
 // Unit is the per-die compute engine instance. One kernel executes at a

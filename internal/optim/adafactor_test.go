@@ -71,6 +71,7 @@ func TestAdafactorZeroGradientNoChange(t *testing.T) {
 	orig := append([]float32(nil), w...)
 	a.Step(w, make([]float32, 16))
 	for i := range w {
+		//simlint:allow floateq masked entries must stay bit-identical
 		if w[i] != orig[i] {
 			t.Fatal("zero gradient moved weights")
 		}
@@ -121,10 +122,12 @@ func TestAdafactorDeterministic(t *testing.T) {
 	}
 	x, y := run(), run()
 	for i := range x {
+		//simlint:allow floateq repeated runs must be bit-identical
 		if x[i] != y[i] {
 			t.Fatal("nondeterministic")
 		}
 	}
+	//simlint:allow floateq 0 is the untouched sentinel
 	if run()[0] == 0 && run()[1] == 0 {
 		t.Fatal("degenerate run")
 	}

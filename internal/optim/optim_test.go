@@ -3,6 +3,8 @@ package optim
 import (
 	"math"
 	"testing"
+
+	"repro/internal/approx"
 	"testing/quick"
 )
 
@@ -121,7 +123,7 @@ func TestAdamCoupledVsDecoupledDiffer(t *testing.T) {
 	g := []float32{0.5}
 	New(Adam, hp).Step(wa, g)
 	New(AdamW, hp).Step(ww, g)
-	if wa[0] == ww[0] {
+	if approx.Equal(float64(wa[0]), float64(ww[0])) {
 		t.Fatal("Adam and AdamW should differ with weight decay")
 	}
 }
@@ -135,6 +137,7 @@ func TestZeroGradientNoChange(t *testing.T) {
 			o.Step(w, []float32{0, 0})
 		}
 		for i := range w {
+			//simlint:allow floateq masked entries must stay bit-identical
 			if w[i] != orig[i] {
 				t.Errorf("%v: w changed with zero gradient: %v -> %v", k, orig, w)
 				break
@@ -166,6 +169,7 @@ func TestLAMBStepLayers(t *testing.T) {
 		t.Fatal("per-layer trust ratios had no effect")
 	}
 	// Within a layer, identical elements move identically.
+	//simlint:allow floateq symmetric lanes must compute bit-identically
 	if w[0] != w[1] || w[2] != w[3] {
 		t.Fatal("within-layer asymmetry")
 	}
@@ -175,6 +179,7 @@ func TestLAMBZeroWeightTrustOne(t *testing.T) {
 	o := New(LAMB, Hyper{LR: 0.01})
 	w := []float32{0}
 	o.Step(w, []float32{1})
+	//simlint:allow floateq 0 is the untouched sentinel
 	if w[0] == 0 {
 		t.Fatal("zero-norm layer should still update (trust=1)")
 	}
@@ -237,6 +242,7 @@ func TestDeterminism(t *testing.T) {
 	}
 	a, b := run(), run()
 	for i := range a {
+		//simlint:allow floateq repeated runs must be bit-identical
 		if a[i] != b[i] {
 			t.Fatal("nondeterministic update")
 		}
@@ -263,6 +269,7 @@ func TestAdamFirstStepSignProperty(t *testing.T) {
 				return false
 			case g[i] < 0 && w[i] <= 0:
 				return false
+			//simlint:allow floateq gradients are literal zeros; any drift is a spurious update
 			case g[i] == 0 && w[i] != 0:
 				return false
 			}
@@ -316,6 +323,7 @@ func TestHyperDefaults(t *testing.T) {
 	}
 	// Explicit values survive.
 	h2 := Hyper{LR: 0.5}.withDefaults()
+	//simlint:allow floateq copied hyperparameters are bit-identical
 	if h2.LR != 0.5 || h2.Beta1 != d.Beta1 {
 		t.Fatal("withDefaults clobbered explicit LR or missed Beta1")
 	}
@@ -387,6 +395,7 @@ func TestAMSGradMatchesAdamOnConstantGradient(t *testing.T) {
 		ams.Step(wm, g)
 	}
 	for i := range wa {
+		//simlint:allow floateq the two implementations must agree bit-exactly
 		if wa[i] != wm[i] {
 			t.Fatalf("diverged on constant gradients: %v vs %v", wa, wm)
 		}
@@ -414,7 +423,7 @@ func TestAMSGradMaxBindsAfterSpike(t *testing.T) {
 			t.Fatalf("step %d: AMSGrad step %v exceeded Adam %v after spike", i, dm, da)
 		}
 	}
-	if wm[0] == wa[0] {
+	if approx.Equal(float64(wm[0]), float64(wa[0])) {
 		t.Fatal("max never bound — test not exercising AMSGrad")
 	}
 }

@@ -172,25 +172,36 @@ func ticks(lo, hi float64, n int) []float64 {
 			break
 		}
 	}
+	// step/epsDenom is a ~1e-9 relative slop absorbing float accumulation
+	// error at the last tick; it is a tolerance, not a unit conversion.
+	const epsDenom = 1e9
 	var out []float64
-	for t := math.Ceil(lo/step) * step; t <= hi+step/1e9; t += step {
+	for t := math.Ceil(lo/step) * step; t <= hi+step/epsDenom; t += step {
 		out = append(out, t)
 	}
 	return out
 }
 
+// SI suffix thresholds for tick labels (dimensionless plot values).
+const (
+	tera = 1e12
+	giga = 1e9
+	mega = 1e6
+	kilo = 1e3
+)
+
 // label formats a tick value compactly (SI-ish suffixes for big numbers).
 func label(v float64) string {
 	a := math.Abs(v)
 	switch {
-	case a >= 1e12:
-		return fmt.Sprintf("%.3gT", v/1e12)
-	case a >= 1e9:
-		return fmt.Sprintf("%.3gB", v/1e9)
-	case a >= 1e6:
-		return fmt.Sprintf("%.3gM", v/1e6)
-	case a >= 1e3:
-		return fmt.Sprintf("%.3gK", v/1e3)
+	case a >= tera:
+		return fmt.Sprintf("%.3gT", v/tera)
+	case a >= giga:
+		return fmt.Sprintf("%.3gB", v/giga)
+	case a >= mega:
+		return fmt.Sprintf("%.3gM", v/mega)
+	case a >= kilo:
+		return fmt.Sprintf("%.3gK", v/kilo)
 	case a == 0:
 		return "0"
 	case a < 0.01:

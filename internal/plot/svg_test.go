@@ -14,8 +14,8 @@ func demoFigure() *stats.Figure {
 	a := f.AddSeries("optimstore")
 	b := f.AddSeries("baseline")
 	for i := 1; i <= 5; i++ {
-		a.Add(float64(i)*1e9, 1.8)
-		b.Add(float64(i)*1e9, 1.0)
+		a.Add(float64(i)*giga, 1.8)
+		b.Add(float64(i)*giga, 1.0)
 	}
 	return f
 }
@@ -52,7 +52,7 @@ func TestSVGLogX(t *testing.T) {
 	f := stats.NewFigure("scale", "params", "s")
 	s := f.AddSeries("a")
 	for _, x := range []float64{1e8, 1e9, 1e10, 1e11} {
-		s.Add(x, x/1e9)
+		s.Add(x, x/giga)
 	}
 	opts := DefaultOptions()
 	opts.LogX = true
@@ -113,6 +113,7 @@ func TestLabelFormats(t *testing.T) {
 		0.5:    "0.5",
 		0.0001: "1.0e-04",
 	}
+	//simlint:allow maporder table-driven cases, each asserted independently
 	for in, want := range cases {
 		if got := label(in); got != want {
 			t.Errorf("label(%v) = %q, want %q", in, got, want)

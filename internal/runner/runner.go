@@ -167,6 +167,7 @@ func Values[T any](results []Result[T]) []T {
 // execute runs one job with panic capture and metric collection.
 func execute[T any](index int, job Job[T]) Result[T] {
 	res := Result[T]{Index: index}
+	//simlint:allow wallclock measuring real job runtime is this harness's purpose
 	start := time.Now()
 	func() {
 		defer func() {
@@ -178,6 +179,7 @@ func execute[T any](index int, job Job[T]) Result[T] {
 		}()
 		res.Value, res.Err = job()
 	}()
+	//simlint:allow wallclock wall-time metric, never feeds simulated time
 	res.Wall = time.Since(start)
 	if ec, ok := any(res.Value).(EventCounter); ok && res.Err == nil {
 		res.Events = ec.EventCount()

@@ -18,6 +18,7 @@ func TestStreamOrderAdversarial(t *testing.T) {
 	for i := 0; i < n; i++ {
 		i := i
 		jobs[i] = func() (int, error) {
+			//simlint:allow wallclock real sleeps exercise actual parallel execution
 			time.Sleep(time.Duration(n-i) * time.Millisecond)
 			return i * i, nil
 		}
@@ -120,6 +121,7 @@ func TestWorkersBound(t *testing.T) {
 					break
 				}
 			}
+			//simlint:allow wallclock real sleeps exercise actual parallel execution
 			time.Sleep(2 * time.Millisecond)
 			inFlight.Add(-1)
 			return 0, nil

@@ -27,6 +27,10 @@ const (
 // Seconds converts a simulated duration to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
+// Scale multiplies the duration by a dimensionless factor (extrapolation
+// ratios, overlap fractions), truncating back to whole nanoseconds.
+func (t Time) Scale(k float64) Time { return Time(float64(t) * k) }
+
 // Micros converts a simulated duration to floating-point microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+
+	"repro/internal/approx"
 	"testing/quick"
 )
 
@@ -236,13 +238,13 @@ func TestTimeString(t *testing.T) {
 }
 
 func TestTimeConversions(t *testing.T) {
-	if s := (2 * Second).Seconds(); s != 2 {
+	if s := (2 * Second).Seconds(); !approx.Equal(s, 2) {
 		t.Errorf("Seconds = %v", s)
 	}
-	if ms := (5 * Millisecond).Millis(); ms != 5 {
+	if ms := (5 * Millisecond).Millis(); !approx.Equal(ms, 5) {
 		t.Errorf("Millis = %v", ms)
 	}
-	if us := (7 * Microsecond).Micros(); us != 7 {
+	if us := (7 * Microsecond).Micros(); !approx.Equal(us, 7) {
 		t.Errorf("Micros = %v", us)
 	}
 }

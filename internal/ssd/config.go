@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/nand"
 	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 // Config describes one SSD instance.
@@ -111,19 +112,19 @@ func (c Config) LogicalBytes() int64 {
 
 // InternalReadMBps is the aggregate plane-level sense bandwidth — the
 // ceiling for in-storage read traffic. (bytes/µs ≡ MB/s.)
-func (c Config) InternalReadMBps() float64 {
-	perPlane := float64(c.Nand.PageSize) / (float64(c.Nand.ReadLatency) / 1000)
-	return perPlane * float64(c.Geometry().Planes())
+func (c Config) InternalReadMBps() units.MBps {
+	perPlane := units.RateMBps(units.Bytes(c.Nand.PageSize), c.Nand.ReadLatency)
+	return perPlane.Scale(float64(c.Geometry().Planes()))
 }
 
 // InternalProgramMBps is the aggregate plane-level program bandwidth — the
 // ceiling for any design that persists updated state, in-storage or not.
-func (c Config) InternalProgramMBps() float64 {
-	perPlane := float64(c.Nand.PageSize) / (float64(c.Nand.ProgramLatency) / 1000)
-	return perPlane * float64(c.Geometry().Planes())
+func (c Config) InternalProgramMBps() units.MBps {
+	perPlane := units.RateMBps(units.Bytes(c.Nand.PageSize), c.Nand.ProgramLatency)
+	return perPlane.Scale(float64(c.Geometry().Planes()))
 }
 
 // ChannelMBps is the aggregate channel-bus bandwidth.
-func (c Config) ChannelMBps() float64 {
-	return float64(c.Nand.BusMBps * c.Channels)
+func (c Config) ChannelMBps() units.MBps {
+	return units.MBps(c.Nand.BusMBps * c.Channels)
 }

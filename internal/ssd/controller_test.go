@@ -385,6 +385,7 @@ func TestDeviceSequentialWriteThroughputProgramBound(t *testing.T) {
 	runDrained(t, e, d)
 	// Program-bound floor: pagesPerPlane × tPROG.
 	pagesPerPlane := n / planes
+	//simlint:allow simtime page count scales tPROG; the count is not a duration
 	floor := sim.Time(pagesPerPlane) * cfg.Nand.ProgramLatency
 	if e.Now() < floor {
 		t.Fatalf("finished at %v, below physical floor %v", e.Now(), floor)

@@ -2,6 +2,8 @@ package ssd
 
 import (
 	"testing"
+
+	"repro/internal/approx"
 	"testing/quick"
 
 	"repro/internal/nand"
@@ -125,7 +127,7 @@ func TestConfigBandwidthCeilings(t *testing.T) {
 	if prog < 6_500 || prog > 7_500 {
 		t.Fatalf("internal program = %.0f MB/s", prog)
 	}
-	if ch := cfg.ChannelMBps(); ch != 9600 {
+	if ch := cfg.ChannelMBps(); !approx.Equal(float64(ch), 9600) {
 		t.Fatalf("channel aggregate = %.0f", ch)
 	}
 	// The structural asymmetry the paper exploits must hold:

@@ -2,6 +2,7 @@ package ssd
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/sim"
@@ -49,11 +50,13 @@ func runRandomWorkload(t *testing.T, seed int64) {
 
 	mapped := func() []int64 {
 		out := make([]int64, 0, len(expected))
+		//simlint:allow maporder sorted below so seeded runs stay reproducible
 		for lpa := range expected {
 			if committed[lpa] {
 				out = append(out, lpa)
 			}
 		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		return out
 	}
 
@@ -120,6 +123,7 @@ func runRandomWorkload(t *testing.T, seed int64) {
 
 	// Content integrity for every live page.
 	geo := d.Geometry()
+	//simlint:allow maporder per-key invariants, order-free
 	for lpa, want := range expected {
 		ppa, ok := d.FTL().Lookup(lpa)
 		if !ok {

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"repro/internal/approx"
 	"testing/quick"
 )
 
@@ -13,13 +15,13 @@ func TestHistBasics(t *testing.T) {
 	for _, v := range []float64{3, 1, 2} {
 		h.Add(v)
 	}
-	if h.Count() != 3 || h.Sum() != 6 {
+	if h.Count() != 3 || !approx.Equal(h.Sum(), 6) {
 		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
 	}
-	if h.Mean() != 2 {
+	if !approx.Equal(h.Mean(), 2) {
 		t.Fatalf("mean=%v", h.Mean())
 	}
-	if h.Min() != 1 || h.Max() != 3 {
+	if !approx.Equal(h.Min(), 1) || !approx.Equal(h.Max(), 3) {
 		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
 	}
 	if h.Name() != "lat" {
@@ -29,7 +31,8 @@ func TestHistBasics(t *testing.T) {
 
 func TestHistEmpty(t *testing.T) {
 	h := NewHist("e")
-	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(50) != 0 || h.StdDev() != 0 {
+	if !approx.Equal(h.Mean(), 0) || !approx.Equal(h.Min(), 0) || !approx.Equal(h.Max(), 0) ||
+		!approx.Equal(h.Percentile(50), 0) || !approx.Equal(h.StdDev(), 0) {
 		t.Fatal("empty hist should return zeros")
 	}
 }
@@ -39,10 +42,10 @@ func TestHistPercentile(t *testing.T) {
 	for i := 1; i <= 100; i++ {
 		h.Add(float64(i))
 	}
-	if p := h.Percentile(0); p != 1 {
+	if p := h.Percentile(0); !approx.Equal(p, 1) {
 		t.Fatalf("p0=%v", p)
 	}
-	if p := h.Percentile(100); p != 100 {
+	if p := h.Percentile(100); !approx.Equal(p, 100) {
 		t.Fatalf("p100=%v", p)
 	}
 	if p := h.Percentile(50); math.Abs(p-50.5) > 0.01 {
@@ -178,6 +181,7 @@ func TestFormatFloat(t *testing.T) {
 		2e7:     "2.000e+07",
 		0.00005: "5.000e-05",
 	}
+	//simlint:allow maporder table-driven cases, each asserted independently
 	for in, want := range cases {
 		if got := formatFloat(in); got != want {
 			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
@@ -200,7 +204,7 @@ func TestFigureTable(t *testing.T) {
 	if row := tb.Row(1); row[2] != "-" {
 		t.Fatalf("missing point cell = %q", row[2])
 	}
-	if y, ok := a.YAt(2); !ok || y != 20 {
+	if y, ok := a.YAt(2); !ok || !approx.Equal(y, 20) {
 		t.Fatalf("YAt: %v %v", y, ok)
 	}
 	if _, ok := b.YAt(99); ok {
@@ -255,7 +259,7 @@ func TestFigureXRange(t *testing.T) {
 	s.Add(2, 1)
 	s.Add(9, 1)
 	min, max, ok := f.XRange()
-	if !ok || min != 2 || max != 9 {
+	if !ok || !approx.Equal(min, 2) || !approx.Equal(max, 9) {
 		t.Fatalf("range = %v..%v %v", min, max, ok)
 	}
 }

@@ -11,6 +11,7 @@ func TestGradientsDeterministic(t *testing.T) {
 	a := Gradients(7, 100)
 	b := Gradients(7, 100)
 	for i := range a {
+		//simlint:allow floateq same seed must reproduce bit-identically
 		if a[i] != b[i] {
 			t.Fatal("same seed produced different gradients")
 		}
@@ -18,6 +19,7 @@ func TestGradientsDeterministic(t *testing.T) {
 	c := Gradients(8, 100)
 	same := true
 	for i := range a {
+		//simlint:allow floateq same seed must reproduce bit-identically
 		if a[i] != c[i] {
 			same = false
 			break
@@ -50,6 +52,7 @@ func TestGradientStream(t *testing.T) {
 	s1.Fill(a)
 	s2.Fill(b)
 	for i := range a {
+		//simlint:allow floateq same seed must reproduce bit-identically
 		if a[i] != b[i] {
 			t.Fatal("streams with same seed diverge")
 		}
@@ -58,6 +61,7 @@ func TestGradientStream(t *testing.T) {
 	s1.Fill(b)
 	diff := false
 	for i := range a {
+		//simlint:allow floateq same seed must reproduce bit-identically
 		if a[i] != b[i] {
 			diff = true
 		}
@@ -78,6 +82,7 @@ func TestQuadraticConvergenceUnderAdam(t *testing.T) {
 		o.Step(w, g)
 	}
 	end := q.Loss(w)
+	//simlint:allow unitconv 1000x loss-reduction threshold, not a unit conversion
 	if end > start/1000 {
 		t.Fatalf("Adam failed to converge on quadratic: %v -> %v", start, end)
 	}

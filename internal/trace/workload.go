@@ -2,6 +2,16 @@
 // deterministic pseudo-random gradients for functional verification, a
 // small convex training problem for the quickstart example, and block-level
 // I/O traces for the standalone SSD simulator.
+//
+// # Seeding convention
+//
+// Every generator in this package takes an explicit seed and builds its own
+// rand.New(rand.NewSource(seed)) — nothing reads the global math/rand state,
+// so two runs with the same seed are bit-identical regardless of what other
+// packages do (the `nondeterminism` analyzer in internal/lint/checks keeps
+// it that way). Callers that have no reason to vary the workload should pass
+// DefaultSeed; callers that derive per-step or per-shard streams should
+// offset it (seed+step), as internal/core/functional.go does.
 package trace
 
 import (
@@ -9,6 +19,11 @@ import (
 	"math"
 	"math/rand"
 )
+
+// DefaultSeed is the conventional seed for experiments and examples that
+// only need *a* reproducible workload, not a particular one. Tests that
+// exercise seed-sensitivity intentionally use other values.
+const DefaultSeed int64 = 42
 
 // Gradients returns n deterministic standard-normal gradient values for the
 // given seed. The same (seed, n) always produces the same slice.
