@@ -2,14 +2,18 @@
 # go vet and the race detector — required since internal/runner introduced
 # real concurrency (the worker pool that fans simulation points across
 # CPUs); tier 3 runs simlint, the project's own static analyzers for
-# determinism and unit safety (see DESIGN.md). Run `make verify` before
-# sending changes.
+# determinism and unit safety (see DESIGN.md); tier 4 runs the physical-
+# invariant sweep (internal/invariant: conservation, roofline sandwich,
+# metamorphic monotonicity over hundreds of configurations) plus a short
+# native-fuzz smoke of every pure-kernel fuzz target. Run `make verify`
+# before sending changes.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: verify tier1 tier2 tier3 bench
+.PHONY: verify tier1 tier2 tier3 tier4 fuzz-smoke bench
 
-verify: tier1 tier2 tier3
+verify: tier1 tier2 tier3 tier4
 
 tier1:
 	$(GO) build ./...
@@ -21,6 +25,19 @@ tier2:
 
 tier3:
 	$(GO) run ./cmd/simlint ./...
+
+tier4: fuzz-smoke
+	$(GO) test ./internal/invariant/...
+
+# One `go test -fuzz` invocation per target: the fuzz engine accepts a
+# single fuzz pattern per run. -run='^$$' skips the unit tests each time;
+# the committed seed corpora under testdata/fuzz/ run as part of tier 1.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzBitsRoundTrip   -fuzztime=$(FUZZTIME) ./internal/fp16/
+	$(GO) test -run='^$$' -fuzz=FuzzRoundProperties -fuzztime=$(FUZZTIME) ./internal/fp16/
+	$(GO) test -run='^$$' -fuzz=FuzzSchemeProperties -fuzztime=$(FUZZTIME) ./internal/ecc/
+	$(GO) test -run='^$$' -fuzz=FuzzFTLOps          -fuzztime=$(FUZZTIME) ./internal/ssd/
+	$(GO) test -run='^$$' -fuzz=FuzzEngineOrdering  -fuzztime=$(FUZZTIME) ./internal/sim/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -33,6 +33,7 @@ func main() {
 		svgDir   = flag.String("svg", "", "also write each figure as an SVG into this directory")
 		htmlTo   = flag.String("html", "", "also write the whole run as a self-contained HTML report")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation points (1 = sequential)")
+		check    = flag.Bool("check", false, "audit every simulated report against the physical-invariant registry (internal/invariant); violations fail the run")
 	)
 	flag.Parse()
 
@@ -57,7 +58,7 @@ func main() {
 			ids[i] = strings.TrimSpace(ids[i])
 		}
 	}
-	opts := experiments.Options{Quick: *quick, Parallel: *parallel}
+	opts := experiments.Options{Quick: *quick, Parallel: *parallel, CheckInvariants: *check}
 	// Experiments fan across the worker pool; results come back in the
 	// requested order, so the emitted report stream is identical at any
 	// parallelism.

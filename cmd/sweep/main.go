@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/host"
+	"repro/internal/invariant"
 	"repro/internal/runner"
 	"repro/internal/units"
 )
@@ -37,6 +38,7 @@ func main() {
 		systems  = flag.String("systems", "hostoffload,ctrlisp,optimstore", "systems to run")
 		units    = flag.Int64("units", 512, "simulation window in update units")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines (1 = sequential)")
+		check    = flag.Bool("check", false, "audit every point against the physical-invariant registry (internal/invariant); violations fail the sweep")
 	)
 	flag.Parse()
 
@@ -55,6 +57,7 @@ func main() {
 		Systems:  splitList(*systems),
 		Units:    *units,
 		Parallel: *parallel,
+		Check:    *check,
 	}
 
 	fmt.Print(sweepHeader())
@@ -73,6 +76,7 @@ type sweepSpec struct {
 	Systems  []string
 	Units    int64
 	Parallel int
+	Check    bool
 }
 
 // point is one (value, system) cell of the sweep grid.
@@ -142,6 +146,12 @@ func (s sweepSpec) runPoint(p point) (sweepRow, error) {
 	r, err := sys.Run()
 	if err != nil {
 		return sweepRow{}, err
+	}
+	if s.Check {
+		if v := invariant.Audit(p.system, cfg, r); len(v) > 0 {
+			return sweepRow{}, fmt.Errorf("%s %s=%d violates invariants: %s",
+				p.system, s.Dim, p.value, strings.Join(v, "; "))
+		}
 	}
 	if !r.Feasible {
 		return sweepRow{

@@ -295,25 +295,7 @@ func TestNewSystemUnknown(t *testing.T) {
 	}
 }
 
-func TestVerifyPagedEquivalence(t *testing.T) {
-	for _, k := range optim.Kinds() {
-		if k == optim.LAMB {
-			continue
-		}
-		if err := VerifyPagedEquivalence(k, optim.Hyper{LR: 0.01}, 1000, 64, 5, 7); err != nil {
-			t.Errorf("%v: %v", k, err)
-		}
-	}
-}
-
-func TestVerifyPagedEquivalenceRejects(t *testing.T) {
-	if err := VerifyPagedEquivalence(optim.LAMB, optim.Hyper{}, 100, 10, 1, 1); err == nil {
-		t.Fatal("LAMB accepted")
-	}
-	if err := VerifyPagedEquivalence(optim.SGD, optim.Hyper{}, 0, 10, 1, 1); err == nil {
-		t.Fatal("zero n accepted")
-	}
-}
+// Paged-equivalence coverage lives in functional_test.go.
 
 func TestMixedPrecisionDriftBounded(t *testing.T) {
 	// FP16 gradient delivery perturbs Adam updates, but with FP32 master

@@ -178,24 +178,26 @@ func (s *HostOffload) Run() (*Report, error) {
 	counts := dev.Counts()
 	totalUnits := cfg.TouchedUnits()
 	r := &Report{
-		System:           s.Name(),
-		Model:            cfg.Model.Name,
-		Optimizer:        cfg.Optimizer.String(),
-		Precision:        cfg.Precision.String(),
-		Params:           cfg.Model.Params,
-		TotalUnits:       totalUnits,
-		SimUnits:         simUnits,
-		SimTime:          endTime,
-		SimEvents:        eng.Fired(),
-		OptStepTime:      endTime.Scale(scale),
-		PCIeBytes:        2 * residentB * totalUnits,
-		BusBytes:         int64(float64(counts.BytesIn+counts.BytesOut) * scale),
-		NANDReadBytes:    int64(float64(counts.Reads) * float64(pageSize) * scale),
-		NANDProgramBytes: int64(float64(counts.Programs) * float64(pageSize) * scale),
-		DRAMBytes:        2 * residentB * totalUnits, // controller DRAM staging
-		HBMBytes:         (2*residentB + gradB + cfg.WeightOutBytesPerUnit()) * totalUnits,
-		WAF:              dev.Stats().WAF,
-		Feasible:         true,
+		System:              s.Name(),
+		Model:               cfg.Model.Name,
+		Optimizer:           cfg.Optimizer.String(),
+		Precision:           cfg.Precision.String(),
+		Params:              cfg.Model.Params,
+		TotalUnits:          totalUnits,
+		SimUnits:            simUnits,
+		SimTime:             endTime,
+		SimEvents:           eng.Fired(),
+		SimPCIeToDevBytes:   int64(link.BytesToDevice()),
+		SimPCIeFromDevBytes: int64(link.BytesFromDevice()),
+		OptStepTime:         endTime.Scale(scale),
+		PCIeBytes:           2 * residentB * totalUnits,
+		BusBytes:            int64(float64(counts.BytesIn+counts.BytesOut) * scale),
+		NANDReadBytes:       int64(float64(counts.Reads) * float64(pageSize) * scale),
+		NANDProgramBytes:    int64(float64(counts.Programs) * float64(pageSize) * scale),
+		DRAMBytes:           2 * residentB * totalUnits, // controller DRAM staging
+		HBMBytes:            (2*residentB + gradB + cfg.WeightOutBytesPerUnit()) * totalUnits,
+		WAF:                 dev.Stats().WAF,
+		Feasible:            true,
 	}
 	r.LinkUtil = link.Utilization()
 	r.BusUtil = meanBusUtil(dev)

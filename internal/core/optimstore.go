@@ -237,15 +237,17 @@ func (s *OptimStore) report(cfg Config, dev *ssd.Device, units [][]*odp.Unit, li
 	blockBytes := cfg.SSD.Nand.BlockBytes()
 
 	r := &Report{
-		System:     s.Name(),
-		Model:      cfg.Model.Name,
-		Optimizer:  cfg.Optimizer.String(),
-		Precision:  cfg.Precision.String(),
-		Params:     cfg.Model.Params,
-		TotalUnits: totalUnits,
-		SimUnits:   cfg.SimUnits(),
-		SimTime:    endTime,
-		SimEvents:  fired,
+		System:              s.Name(),
+		Model:               cfg.Model.Name,
+		Optimizer:           cfg.Optimizer.String(),
+		Precision:           cfg.Precision.String(),
+		Params:              cfg.Model.Params,
+		TotalUnits:          totalUnits,
+		SimUnits:            cfg.SimUnits(),
+		SimTime:             endTime,
+		SimEvents:           fired,
+		SimPCIeToDevBytes:   int64(link.BytesToDevice()),
+		SimPCIeFromDevBytes: int64(link.BytesFromDevice()),
 		// The step is throughput-bound: extrapolate the window linearly.
 		OptStepTime:      endTime.Scale(scale),
 		PCIeBytes:        (gradB + woutB) * totalUnits,

@@ -24,6 +24,15 @@ type Report struct {
 	SimTime    sim.Time // simulated window wall time
 	SimEvents  uint64   // discrete events executed in the window (0 for analytic systems)
 
+	// Simulated-window external-link traffic, unscaled: the bytes that
+	// actually crossed each direction of the PCIe model during the window.
+	// The invariant registry audits these against the per-unit accounting
+	// (bytes entering the resource must equal bytes accounted), so a system
+	// cannot silently drop or double-count transfers. Zero for analytic
+	// systems.
+	SimPCIeToDevBytes   int64
+	SimPCIeFromDevBytes int64
+
 	// OptStepTime is the full-model optimizer step latency.
 	OptStepTime sim.Time
 
@@ -57,7 +66,18 @@ type Report struct {
 	FwdBwdTime   sim.Time
 	StepTime     sim.Time
 	TokensPerSec float64
+
+	// Violations holds human-readable invariant-violation descriptions when
+	// the run was executed with invariant checking enabled (see
+	// internal/invariant and experiments.Options.CheckInvariants). Empty on
+	// a clean run or when checking is off.
+	Violations []string
 }
+
+// InvariantViolations reports the violations recorded on this report,
+// satisfying the runner's InvariantReporter interface so run summaries can
+// count them.
+func (r *Report) InvariantViolations() []string { return r.Violations }
 
 // EventCount reports the simulated-event cost of producing this report,
 // satisfying the runner's EventCounter interface for run summaries.

@@ -12,23 +12,57 @@ import (
 // top, so `floor ≤ simulated ≤ k·floor` (small k) is the package's
 // model-sanity invariant — a simulated time below the floor means the
 // simulator is dropping work; far above it means an accidental
-// serialization.
+// serialization. The invariant registry (internal/invariant) machine-checks
+// this sandwich for every system across swept configurations.
 type Roofline struct {
-	PCIe  sim.Time // external link occupancy (busier direction)
-	Bus   sim.Time // aggregate channel-bus occupancy
-	Media sim.Time // plane-level read+program occupancy
-	ODP   sim.Time // on-die compute occupancy (OptimStore only)
+	PCIe    sim.Time // external link occupancy (busier direction)
+	Bus     sim.Time // aggregate channel-bus occupancy
+	Media   sim.Time // plane-level read+program occupancy
+	Compute sim.Time // update-kernel occupancy (ODP, controller CPU or GPU)
 }
 
 // Floor returns the binding constraint.
 func (r Roofline) Floor() sim.Time {
 	f := r.PCIe
-	for _, t := range []sim.Time{r.Bus, r.Media, r.ODP} {
+	for _, t := range []sim.Time{r.Bus, r.Media, r.Compute} {
 		if t > f {
 			f = t
 		}
 	}
 	return f
+}
+
+// Binding names the binding constraint, for reports and regression tests.
+// Ties resolve to the first name in pcie, bus, media, compute order.
+func (r Roofline) Binding() string {
+	candidates := []struct {
+		name string
+		t    sim.Time
+	}{{"pcie", r.PCIe}, {"bus", r.Bus}, {"media", r.Media}, {"compute", r.Compute}}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.t > best.t {
+			best = c
+		}
+	}
+	return best.name
+}
+
+// RooflineFor computes the analytic bound for a system by its constructor
+// name (the names core.NewSystem accepts). ok is false for unknown names.
+func RooflineFor(system string, cfg Config) (r Roofline, ok bool) {
+	switch system {
+	case "optimstore":
+		return OptimStoreRoofline(cfg), true
+	case "hostoffload":
+		return HostOffloadRoofline(cfg), true
+	case "ctrlisp":
+		return CtrlISPRoofline(cfg), true
+	case "gpuresident":
+		return GPUResidentRoofline(cfg), true
+	default:
+		return Roofline{}, false
+	}
 }
 
 // OptimStoreRoofline computes the analytic bound for the in-storage system.
@@ -60,7 +94,7 @@ func OptimStoreRoofline(cfg Config) Roofline {
 	r.Media = units.Nanos(perPlanePages * (passes*tR + tP))
 	// ODP compute, spread across dies.
 	elems := float64(cfg.ElemsPerPage())
-	r.ODP = units.Nanos(touched / dies * float64(cfg.ODP.ComputeTime(int(elems), kernel.FlopsPerElem)))
+	r.Compute = units.Nanos(touched / dies * float64(cfg.ODP.ComputeTime(int(elems), kernel.FlopsPerElem)))
 	return r
 }
 
@@ -81,7 +115,62 @@ func HostOffloadRoofline(cfg Config) Roofline {
 	perPlanePages := touched * comps / planes
 	r.Media = units.Nanos(perPlanePages *
 		float64(cfg.SSD.Nand.ReadLatency+cfg.SSD.Nand.ProgramLatency))
+	// GPU update kernel: the serial GPU resource must stream the state
+	// through HBM and retire the kernel FLOPs. Batch roofline times sum to
+	// at least the whole-step roofline, so this is a valid lower bound.
+	kernel := optim.KernelFor(cfg.Optimizer)
+	elems := float64(cfg.ElemsPerPage())
+	gradB := float64(cfg.GradBytesPerUnit())
+	woutB := float64(cfg.WeightOutBytesPerUnit())
+	hbmBytes := touched * (2*residentB + gradB + woutB)
+	flops := touched * elems * float64(kernel.FlopsPerElem)
+	r.Compute = cfg.GPU.KernelTime(flops, hbmBytes)
 	return r
+}
+
+// CtrlISPRoofline computes the analytic bound for the in-controller
+// processing baseline: gradients and low-precision weights cross PCIe, the
+// full resident state crosses the channel buses both ways, the media is
+// read and programmed once per page, and the controller's embedded cores
+// run the update kernel.
+func CtrlISPRoofline(cfg Config) Roofline {
+	touched := float64(cfg.TouchedUnits())
+	residentB := float64(cfg.ResidentBytesPerUnit())
+	gradB := float64(cfg.GradBytesPerUnit())
+	woutB := float64(cfg.WeightOutBytesPerUnit())
+	comps := float64(cfg.Comps())
+	planes := float64(cfg.SSD.Geometry().Planes())
+	kernel := optim.KernelFor(cfg.Optimizer)
+
+	var r Roofline
+	// PCIe: gradients in, working-precision weights out.
+	ext := cfg.Link.EffectiveGBps()
+	r.PCIe = units.Nanos(maxf(touched*gradB/float64(ext), touched*woutB/float64(ext)))
+	// Channel buses: every resident page travels die→controller and back.
+	bus := cfg.SSD.ChannelMBps().Bps()
+	r.Bus = bus.TransferTimeF(touched * 2 * residentB)
+	// Media: read once, program once per page.
+	perPlanePages := touched * comps / planes
+	r.Media = units.Nanos(perPlanePages *
+		float64(cfg.SSD.Nand.ReadLatency+cfg.SSD.Nand.ProgramLatency))
+	// Controller kernel: one serial engine; per-unit roofline times sum.
+	elems := float64(cfg.ElemsPerPage())
+	perUnit := cfg.CtrlCPU.KernelTime(elems*float64(kernel.FlopsPerElem),
+		2*residentB+gradB+woutB)
+	r.Compute = units.Nanos(touched * float64(perUnit))
+	return r
+}
+
+// GPUResidentRoofline computes the analytic bound for the no-offload
+// reference: a single HBM-roofline update kernel, no external traffic.
+// The system is itself analytic, so its report matches the floor exactly.
+func GPUResidentRoofline(cfg Config) Roofline {
+	spec := cfg.Spec()
+	kernel := optim.KernelFor(cfg.Optimizer)
+	touched := float64(cfg.Model.Params) * cfg.Model.UpdateFraction()
+	hbmBytes := touched * float64(2*spec.ResidentBytes()+spec.GradBytes+spec.WeightOutBytes)
+	flops := touched * float64(kernel.FlopsPerElem)
+	return Roofline{Compute: cfg.GPU.KernelTime(flops, hbmBytes)}
 }
 
 func maxf(a, b float64) float64 {

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/sim"
+)
+
+// TestRooflineGoldenPaperScale pins the analytic floors of all four systems
+// on the paper-scale default configuration (GPT-13B on the default SSD and
+// link). The exact nanosecond values are goldens: any change to the traffic
+// accounting, the geometry arithmetic or the device parameters moves them,
+// and this test forces that move to be a conscious, reviewed one. The
+// binding constraints are the paper's core claims — the host-offload
+// baseline starves on PCIe, in-controller processing starves on its
+// embedded cores, and OptimStore is limited only by the NAND media itself.
+func TestRooflineGoldenPaperScale(t *testing.T) {
+	cfg := DefaultConfig(dnn.GPT13B())
+	golden := map[string]struct {
+		pcie, bus, media, compute sim.Time
+		binding                   string
+	}{
+		"gpuresident": {0, 0, 0, 234083601, "compute"},
+		"hostoffload": {46581081817, 32500008960, 27151115273, 234083665, "pcie"},
+		"ctrlisp":     {7763513636, 32500008960, 27151115273, 45500012544, "compute"},
+		"optimstore":  {7763513636, 5416668160, 27151115273, 1650391080, "media"},
+	}
+	for _, s := range SystemNames() {
+		want, ok := golden[s]
+		if !ok {
+			t.Fatalf("no golden pinned for system %q", s)
+		}
+		rf, ok := RooflineFor(s, cfg)
+		if !ok {
+			t.Fatalf("RooflineFor(%q) unknown", s)
+		}
+		if rf.PCIe != want.pcie || rf.Bus != want.bus || rf.Media != want.media || rf.Compute != want.compute {
+			t.Errorf("%s roofline {pcie:%d bus:%d media:%d compute:%d}, golden {%d %d %d %d}",
+				s, rf.PCIe, rf.Bus, rf.Media, rf.Compute,
+				want.pcie, want.bus, want.media, want.compute)
+		}
+		if got := rf.Binding(); got != want.binding {
+			t.Errorf("%s binding %q, golden %q", s, got, want.binding)
+		}
+		wantFloor := rf.PCIe
+		for _, c := range []sim.Time{rf.Bus, rf.Media, rf.Compute} {
+			if c > wantFloor {
+				wantFloor = c
+			}
+		}
+		if rf.Floor() != wantFloor {
+			t.Errorf("%s Floor() = %d, max constraint is %d", s, rf.Floor(), wantFloor)
+		}
+	}
+}
+
+// TestRooflineBindingTies checks the documented tie-break: equal
+// constraints resolve to the first name in pcie, bus, media, compute order.
+func TestRooflineBindingTies(t *testing.T) {
+	r := Roofline{PCIe: 10, Bus: 10, Media: 10, Compute: 10}
+	if b := r.Binding(); b != "pcie" {
+		t.Fatalf("all-tie binding %q, want pcie", b)
+	}
+	r = Roofline{PCIe: 1, Bus: 7, Media: 7, Compute: 3}
+	if b := r.Binding(); b != "bus" {
+		t.Fatalf("bus/media tie binding %q, want bus", b)
+	}
+}
+
+// TestRooflineForUnknown covers the unknown-system path.
+func TestRooflineForUnknown(t *testing.T) {
+	if _, ok := RooflineFor("bogus", DefaultConfig(dnn.GPT13B())); ok {
+		t.Fatal("unknown system produced a roofline")
+	}
+}

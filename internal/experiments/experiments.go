@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dnn"
+	"repro/internal/invariant"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
@@ -28,6 +29,14 @@ type Options struct {
 	// point owns its engine and results are assembled in submission order,
 	// so outputs are identical at any width.
 	Parallel int
+
+	// CheckInvariants audits every simulated report against the registered
+	// physical invariants (internal/invariant): conservation, roofline
+	// sandwich, structural sanity. Violations are recorded on the reports
+	// (surfacing in runner summaries as an INVARIANT VIOLATIONS count) and
+	// returned as errors from runSystems, so a miscalibrated model fails
+	// the experiment instead of silently producing a wrong table.
+	CheckInvariants bool
 }
 
 func (o Options) simUnits() int64 {
@@ -171,7 +180,16 @@ func runSystems(opts Options, cfg core.Config, names ...string) ([]*core.Report,
 		if err != nil {
 			return nil, err
 		}
-		return sys.Run()
+		r, err := sys.Run()
+		if err != nil {
+			return nil, err
+		}
+		if opts.CheckInvariants {
+			if v := invariant.Audit(n, cfg, r); len(v) > 0 {
+				return r, fmt.Errorf("system %s violates invariants: %s", n, strings.Join(v, "; "))
+			}
+		}
+		return r, nil
 	})
 	if err := runner.FirstErr(results); err != nil {
 		return nil, err

@@ -1,0 +1,93 @@
+package fp16
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBitsRoundTrip drives the decoder/encoder pair from the raw bit
+// pattern side: every binary16 value is exactly representable in binary32,
+// so decoding and re-encoding must reproduce the identical bit pattern —
+// except NaNs, which canonicalise but must stay NaNs.
+func FuzzBitsRoundTrip(f *testing.F) {
+	f.Add(uint16(0))      // +0
+	f.Add(uint16(0x8000)) // -0
+	f.Add(uint16(0x7C00)) // +Inf
+	f.Add(uint16(0xFC00)) // -Inf
+	f.Add(uint16(0x7C01)) // signalling NaN
+	f.Add(uint16(0x0001)) // smallest subnormal
+	f.Add(uint16(0x03FF)) // largest subnormal
+	f.Add(uint16(0x0400)) // smallest normal
+	f.Add(uint16(0x7BFF)) // largest finite (65504)
+	f.Add(uint16(0x3C00)) // 1.0
+	f.Fuzz(func(t *testing.T, bits uint16) {
+		h := Bits(bits)
+		v := ToFloat32(h)
+		back := FromFloat32(v)
+		if h.IsNaN() {
+			if !back.IsNaN() {
+				t.Fatalf("NaN %#04x decoded to %v, re-encoded to non-NaN %#04x", bits, v, uint16(back))
+			}
+			if !math.IsNaN(float64(v)) {
+				t.Fatalf("NaN bits %#04x decoded to non-NaN float %v", bits, v)
+			}
+			return
+		}
+		if back != h {
+			t.Fatalf("round trip %#04x -> %v -> %#04x", bits, v, uint16(back))
+		}
+		if h.IsInf() != math.IsInf(float64(v), 0) {
+			t.Fatalf("IsInf(%#04x)=%v but decoded value is %v", bits, h.IsInf(), v)
+		}
+		// Sign must survive the trip through float32 exactly, zeros included.
+		if (bits&0x8000 != 0) != math.Signbit(float64(v)) {
+			t.Fatalf("sign of %#04x lost: decoded %v", bits, v)
+		}
+	})
+}
+
+// FuzzRoundProperties checks the quantiser's order-theoretic contract on
+// arbitrary float32 pairs: idempotence, monotonicity, sign preservation,
+// the normal-range relative error bound, and no spurious flush to zero.
+func FuzzRoundProperties(f *testing.F) {
+	f.Add(float32(1.0), float32(1.0009765625)) // adjacent half-precision values
+	f.Add(float32(-65504), float32(65504))
+	f.Add(float32(65519.996), float32(65520)) // overflow threshold
+	f.Add(float32(5.9604645e-08), float32(-5.9604645e-08))
+	f.Add(float32(0.1), float32(0.2))
+	f.Fuzz(func(t *testing.T, a, b float32) {
+		for _, x := range []float32{a, b} {
+			if math.IsNaN(float64(x)) {
+				continue
+			}
+			r := Round(x)
+			//simlint:allow floateq idempotence is a bit-exact property
+			if Round(r) != r {
+				t.Fatalf("Round not idempotent at %v: %v -> %v", x, r, Round(r))
+			}
+			if math.Signbit(float64(x)) != math.Signbit(float64(r)) {
+				t.Fatalf("Round(%v) = %v flipped sign", x, r)
+			}
+			ax := math.Abs(float64(x))
+			if ax >= MinNormal && ax <= MaxValue {
+				if rel := math.Abs(float64(r)-float64(x)) / ax; rel > Epsilon {
+					t.Fatalf("Round(%v) = %v: relative error %g exceeds epsilon %g", x, r, rel, Epsilon)
+				}
+			}
+			//simlint:allow floateq flush-to-zero is a bit-exact property
+			if ax >= MinSubnormal && !math.IsInf(float64(x), 0) && r == 0 {
+				t.Fatalf("Round(%v) flushed a representable magnitude to zero", x)
+			}
+		}
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if Round(lo) > Round(hi) {
+			t.Fatalf("Round not monotone: Round(%v)=%v > Round(%v)=%v", lo, Round(lo), hi, Round(hi))
+		}
+	})
+}

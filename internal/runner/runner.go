@@ -49,6 +49,10 @@ type Result[T any] struct {
 	// Events is the number of simulated events the job reported, via the
 	// EventCounter interface on its Value (0 if not implemented).
 	Events int64
+	// Violations is the invariant violations the job's value carried, via
+	// the InvariantReporter interface on its Value (nil if not implemented
+	// or clean). Populated only for successful jobs.
+	Violations []string
 }
 
 // PanicError wraps a panic recovered from a job.
@@ -68,6 +72,15 @@ func (e *PanicError) Error() string {
 // records it into Result.Events for run summaries.
 type EventCounter interface {
 	EventCount() int64
+}
+
+// InvariantReporter is implemented by job results that carry self-audit
+// findings (e.g. *core.Report when a run executes with invariant checking
+// enabled). The runner copies them into Result.Violations so Summarize can
+// surface a sweep-wide violation count without the caller unpacking every
+// value.
+type InvariantReporter interface {
+	InvariantViolations() []string
 }
 
 // Workers normalises a worker-count flag: values <= 0 mean "one worker
@@ -184,17 +197,21 @@ func execute[T any](index int, job Job[T]) Result[T] {
 	if ec, ok := any(res.Value).(EventCounter); ok && res.Err == nil {
 		res.Events = ec.EventCount()
 	}
+	if ir, ok := any(res.Value).(InvariantReporter); ok && res.Err == nil {
+		res.Violations = ir.InvariantViolations()
+	}
 	return res
 }
 
 // Summary aggregates the per-job metrics of one run.
 type Summary struct {
-	Jobs    int
-	Errors  int
-	Panics  int
-	Events  int64         // total simulated events across jobs
-	Busy    time.Duration // sum of per-job wall time (CPU work done)
-	MaxWall time.Duration // slowest single job
+	Jobs       int
+	Errors     int
+	Panics     int
+	Violations int           // total invariant violations across jobs
+	Events     int64         // total simulated events across jobs
+	Busy       time.Duration // sum of per-job wall time (CPU work done)
+	MaxWall    time.Duration // slowest single job
 }
 
 // Summarize computes a Summary over a run's results.
@@ -208,6 +225,7 @@ func Summarize[T any](results []Result[T]) Summary {
 				s.Panics++
 			}
 		}
+		s.Violations += len(r.Violations)
 		s.Events += r.Events
 		s.Busy += r.Wall
 		if r.Wall > s.MaxWall {
@@ -226,6 +244,9 @@ func (s Summary) String() string {
 	}
 	if s.Errors > 0 {
 		line += fmt.Sprintf(", %d errors (%d panics)", s.Errors, s.Panics)
+	}
+	if s.Violations > 0 {
+		line += fmt.Sprintf(", %d INVARIANT VIOLATIONS", s.Violations)
 	}
 	return line
 }

@@ -11,6 +11,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 )
 
 // Time is a point in simulated time, in nanoseconds since simulation start.
@@ -28,8 +29,11 @@ const (
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 // Scale multiplies the duration by a dimensionless factor (extrapolation
-// ratios, overlap fractions), truncating back to whole nanoseconds.
-func (t Time) Scale(k float64) Time { return Time(float64(t) * k) }
+// ratios, overlap fractions), rounding half away from zero back to whole
+// nanoseconds. Rounding rather than truncating keeps scaling symmetric
+// around zero and centres the extrapolation error at zero instead of
+// biasing every scaled duration short by up to a nanosecond.
+func (t Time) Scale(k float64) Time { return Time(math.Round(float64(t) * k)) }
 
 // Micros converts a simulated duration to floating-point microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }

@@ -347,3 +347,52 @@ func TestPreemptibleNegativeOverheadPanics(t *testing.T) {
 	}()
 	NewPreemptible(NewEngine(), "bad", -1)
 }
+
+// TestTimeScaleRounding documents Scale's rounding contract: half away
+// from zero, symmetric for negative durations, with sub-nanosecond results
+// rounding to the nearest whole tick rather than flushing to zero.
+func TestTimeScaleRounding(t *testing.T) {
+	cases := []struct {
+		t    Time
+		k    float64
+		want Time
+	}{
+		{100, 1.0, 100},
+		{100, 0.5, 50},
+		{3, 0.5, 2}, // 1.5 rounds up (away from zero), not down to 1
+		{1, 0.5, 1}, // 0.5 rounds away from zero, not to 0
+		{1, 0.4, 0}, // 0.4 is nearer zero
+		{1, 0.6, 1}, // sub-nanosecond result keeps the nearer tick
+		{-100, 0.5, -50},
+		{-3, 0.5, -2}, // -1.5 rounds to -2: symmetric with +1.5
+		{-1, 0.5, -1}, // -0.5 rounds away from zero
+		{-1, 0.4, 0},
+		{7, 1.0 / 3.0, 2},            // 2.33 truncates and rounds identically
+		{8, 1.0 / 3.0, 3},            // 2.67 rounds up where truncation said 2
+		{1e9, 1.0000000005, 1e9 + 1}, // half-tick drift at second scale is kept
+	}
+	for _, c := range cases {
+		if got := c.t.Scale(c.k); got != c.want {
+			t.Errorf("Time(%d).Scale(%v) = %d, want %d", c.t, c.k, got, c.want)
+		}
+	}
+}
+
+// TestTimeScaleUnbiased shows why Scale rounds: over a spread of odd
+// durations the truncating version drifted systematically short, while
+// round-half-away-from-zero centres the accumulated error near zero.
+func TestTimeScaleUnbiased(t *testing.T) {
+	const k = 1.0 / 7.0
+	var roundedSum, truncatedSum, exactSum float64
+	for d := Time(1); d <= 1000; d++ {
+		roundedSum += float64(d.Scale(k))
+		truncatedSum += float64(Time(float64(d) * k))
+		exactSum += float64(d) * k
+	}
+	if drift := exactSum - roundedSum; drift < -1 || drift > 1 {
+		t.Fatalf("rounded scaling drifts by %v ns over 1000 samples", drift)
+	}
+	if drift := exactSum - truncatedSum; drift < 100 {
+		t.Fatalf("truncation drift %v unexpectedly small; audit premise broken", drift)
+	}
+}
