@@ -5,15 +5,18 @@
 # determinism and unit safety (see DESIGN.md); tier 4 runs the physical-
 # invariant sweep (internal/invariant: conservation, roofline sandwich,
 # metamorphic monotonicity over hundreds of configurations) plus a short
-# native-fuzz smoke of every pure-kernel fuzz target. Run `make verify`
-# before sending changes.
+# native-fuzz smoke of every pure-kernel fuzz target; trace-verify
+# re-runs the tracing layer's contract tests by name (byte-identical
+# Chrome files across pool widths, zero disabled-tracer allocations,
+# trace/utilization reconciliation — DESIGN.md §8) so a verify log shows
+# their verdict explicitly. Run `make verify` before sending changes.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify tier1 tier2 tier3 tier4 fuzz-smoke bench
+.PHONY: verify tier1 tier2 tier3 tier4 fuzz-smoke trace-verify bench
 
-verify: tier1 tier2 tier3 tier4
+verify: tier1 tier2 tier3 tier4 trace-verify
 
 tier1:
 	$(GO) build ./...
@@ -28,6 +31,12 @@ tier3:
 
 tier4: fuzz-smoke
 	$(GO) test ./internal/invariant/...
+
+trace-verify:
+	$(GO) test -run 'TestGoldenTraceDeterminism' -v ./internal/experiments/
+	$(GO) test -run 'TestTracedSweepDeterministicAcrossWidths' -v ./cmd/sweep/
+	$(GO) test -run 'TestDisabledTracerAddsNoAllocations|TestTracerObservesEngineAndResource' -v ./internal/sim/
+	$(GO) test -run 'TestTracedRunMatchesUntraced|TestTraceReconcilesWithReportedLinkUtil' -v ./internal/core/
 
 # One `go test -fuzz` invocation per target: the fuzz engine accepts a
 # single fuzz pattern per run. -run='^$$' skips the unit tests each time;

@@ -22,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/plot"
 	"repro/internal/report"
+	"repro/internal/tracing"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		htmlTo   = flag.String("html", "", "also write the whole run as a self-contained HTML report")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation points (1 = sequential)")
 		check    = flag.Bool("check", false, "audit every simulated report against the physical-invariant registry (internal/invariant); violations fail the run")
+		traceTo  = flag.String("trace", "", "run the four systems plus the checkpoint comparison with event tracing and write a Chrome trace_event JSON file here (open in chrome://tracing or ui.perfetto.dev); prints the trace-derived metrics instead of the experiment suite")
 	)
 	flag.Parse()
 
@@ -49,6 +51,33 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "optimstore: unknown format %q\n", *format)
 		os.Exit(2)
+	}
+
+	if *traceTo != "" {
+		opts := experiments.Options{Quick: *quick, Parallel: *parallel}
+		res, traces, summary, err := experiments.TraceSystems(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "optimstore:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "optimstore:", err)
+			os.Exit(1)
+		}
+		if err := tracing.WriteChrome(f, traces...); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "optimstore:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "optimstore:", summary)
+		printResult(*format, res)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceTo)
+		return
 	}
 
 	ids := experiments.IDs()
@@ -75,25 +104,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		switch *format {
-		case "text":
-			fmt.Print(res)
-		case "markdown":
-			fmt.Printf("## %s: %s\n\n", res.ID, res.Title)
-			for _, t := range res.Tables {
-				fmt.Println(t.Markdown())
-			}
-			for _, f := range res.Figures {
-				fmt.Println(f.Table().Markdown())
-			}
-		case "csv":
-			for _, t := range res.Tables {
-				fmt.Println(t.CSV())
-			}
-			for _, f := range res.Figures {
-				fmt.Println(f.Table().CSV())
-			}
-		}
+		printResult(*format, res)
 	}
 	if *htmlTo != "" {
 		if err := os.WriteFile(*htmlTo, []byte(report.HTML(all)), 0o644); err != nil {
@@ -101,6 +112,30 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *htmlTo)
+	}
+}
+
+// printResult renders one experiment result to stdout in the selected
+// format.
+func printResult(format string, res *experiments.Result) {
+	switch format {
+	case "text":
+		fmt.Print(res)
+	case "markdown":
+		fmt.Printf("## %s: %s\n\n", res.ID, res.Title)
+		for _, t := range res.Tables {
+			fmt.Println(t.Markdown())
+		}
+		for _, f := range res.Figures {
+			fmt.Println(f.Table().Markdown())
+		}
+	case "csv":
+		for _, t := range res.Tables {
+			fmt.Println(t.CSV())
+		}
+		for _, f := range res.Figures {
+			fmt.Println(f.Table().CSV())
+		}
 	}
 }
 

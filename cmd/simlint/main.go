@@ -1,10 +1,11 @@
 // Command simlint is the repository's static-analysis multichecker:
-// verify tier 3. It runs four analyzers over the module —
+// verify tier 3. It runs five analyzers over the module —
 //
 //	nondeterminism  wall-clock reads, global math/rand, map-order iteration
 //	unitconv        raw scale-factor literals outside internal/units
 //	floateq         exact float ==/!= in tests outside approx helpers
 //	simtime         bare sim.Time(x) conversions without a named constructor
+//	tracesink       fmt stream writes that would bypass the trace sink
 //
 // Findings are suppressed line-by-line with `//simlint:allow <check>
 // [reason]` placed on, or directly above, the offending line.
@@ -45,11 +46,15 @@ type scope struct {
 //     define the units (internal/units and the sim kernel itself, whose
 //     Time type the constructors wrap).
 //   - floateq governs every test in the module.
+//   - tracesink governs the packages that record and serialize event
+//     traces; their output must stay byte-stable, so trace bytes go
+//     through internal/tracing's strconv-append sink, never fmt streams.
 var scopes = []scope{
 	{checks.Nondeterminism, underAny("internal", "cmd"), "internal/..., cmd/..."},
 	{checks.UnitConv, not(underAny("internal/units", "internal/lint")), "all but internal/units, internal/lint"},
 	{checks.FloatEq, not(underAny("internal/lint")), "all tests but internal/lint's"},
 	{checks.SimTime, not(underAny("internal/sim", "internal/units", "internal/lint")), "all but internal/sim, internal/units, internal/lint"},
+	{checks.TraceSink, underAny("internal/tracing"), "internal/tracing"},
 }
 
 func underAny(prefixes ...string) func(string) bool {

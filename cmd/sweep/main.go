@@ -27,6 +27,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/invariant"
 	"repro/internal/runner"
+	"repro/internal/tracing"
 	"repro/internal/units"
 )
 
@@ -39,6 +40,7 @@ func main() {
 		units    = flag.Int64("units", 512, "simulation window in update units")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines (1 = sequential)")
 		check    = flag.Bool("check", false, "audit every point against the physical-invariant registry (internal/invariant); violations fail the sweep")
+		traceTo  = flag.String("trace", "", "record an event trace per sweep point and write one combined Chrome trace_event JSON file here (one process lane per point; open in chrome://tracing or ui.perfetto.dev)")
 	)
 	flag.Parse()
 
@@ -58,12 +60,34 @@ func main() {
 		Units:    *units,
 		Parallel: *parallel,
 		Check:    *check,
+		Trace:    *traceTo != "",
 	}
 
 	fmt.Print(sweepHeader())
-	summary, err := spec.stream(func(row string) { fmt.Print(row) })
+	var traces []*tracing.Trace
+	summary, err := spec.stream(func(row sweepRow) {
+		fmt.Print(row.csv)
+		if row.trace != nil {
+			traces = append(traces, row.trace)
+		}
+	})
 	if err != nil {
 		fail(err)
+	}
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fail(err)
+		}
+		if err := tracing.WriteChrome(f, traces...); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: wrote %s\n", *traceTo)
 	}
 	fmt.Fprintln(os.Stderr, "sweep:", summary)
 }
@@ -77,6 +101,10 @@ type sweepSpec struct {
 	Units    int64
 	Parallel int
 	Check    bool
+	// Trace records an event trace per point; rows then carry the trace
+	// out of the pool in grid order, so a combined Chrome file is
+	// byte-identical at every Parallel width.
+	Trace bool
 }
 
 // point is one (value, system) cell of the sweep grid.
@@ -86,13 +114,22 @@ type point struct {
 }
 
 // sweepRow carries one formatted CSV row plus the simulated-event count of
-// the point that produced it, surfaced to the runner for the run summary.
+// the point that produced it (surfaced to the runner for the run summary)
+// and, when tracing is on, the point's recorded event trace.
 type sweepRow struct {
 	csv    string
 	events int64
+	trace  *tracing.Trace
 }
 
 func (r sweepRow) EventCount() int64 { return r.events }
+
+func (r sweepRow) TraceEventCount() int64 {
+	if r.trace == nil {
+		return 0
+	}
+	return int64(r.trace.Len())
+}
 
 // sweepHeader returns the CSV header line. The feasible column marks
 // points a system cannot run at all (metrics are NaN there) so downstream
@@ -101,9 +138,9 @@ func sweepHeader() string {
 	return "dim,value,system,feasible,opt_step_s,step_s,tokens_per_s,pcie_gb,bus_gb,nand_prog_gb,energy_j\n"
 }
 
-// stream runs every sweep point across the worker pool, emitting CSV rows
+// stream runs every sweep point across the worker pool, emitting rows
 // strictly in grid order, and returns the pool's run summary.
-func (s sweepSpec) stream(emit func(string)) (runner.Summary, error) {
+func (s sweepSpec) stream(emit func(sweepRow)) (runner.Summary, error) {
 	var points []point
 	for _, v := range s.Values {
 		for _, name := range s.Systems {
@@ -125,7 +162,7 @@ func (s sweepSpec) stream(emit func(string)) (runner.Summary, error) {
 			}
 			return
 		}
-		emit(r.Value.csv)
+		emit(r.Value)
 	})
 	return runner.Summarize(results), firstErr
 }
@@ -138,6 +175,11 @@ func (s sweepSpec) runPoint(p point) (sweepRow, error) {
 	cfg.MaxSimUnits = s.Units
 	if err := apply(&cfg, s.Dim, p.value); err != nil {
 		return sweepRow{}, err
+	}
+	var tr *tracing.Trace
+	if s.Trace {
+		tr = tracing.New(fmt.Sprintf("%s=%d/%s", s.Dim, p.value, p.system))
+		cfg.Trace = tr
 	}
 	sys, err := core.NewSystem(p.system, cfg)
 	if err != nil {
@@ -158,6 +200,7 @@ func (s sweepSpec) runPoint(p point) (sweepRow, error) {
 			csv: fmt.Sprintf("%s,%d,%s,false,NaN,NaN,NaN,NaN,NaN,NaN,NaN\n",
 				s.Dim, p.value, r.System),
 			events: r.EventCount(),
+			trace:  tr,
 		}, nil
 	}
 	return sweepRow{
@@ -166,6 +209,7 @@ func (s sweepSpec) runPoint(p point) (sweepRow, error) {
 			r.TokensPerSec, units.Bytes(r.PCIeBytes).GBf(), units.Bytes(r.BusBytes).GBf(),
 			units.Bytes(r.NANDProgramBytes).GBf(), r.Energy.Total()),
 		events: r.EventCount(),
+		trace:  tr,
 	}, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dnn"
+	"repro/internal/tracing"
 )
 
 func testSpec(t *testing.T, parallel int) sweepSpec {
@@ -27,7 +28,7 @@ func testSpec(t *testing.T, parallel int) sweepSpec {
 func collect(t *testing.T, spec sweepSpec) string {
 	t.Helper()
 	var b strings.Builder
-	if _, err := spec.stream(func(row string) { b.WriteString(row) }); err != nil {
+	if _, err := spec.stream(func(row sweepRow) { b.WriteString(row.csv) }); err != nil {
 		t.Fatal(err)
 	}
 	return b.String()
@@ -113,6 +114,39 @@ func TestBuskbpsAlias(t *testing.T) {
 	}
 	if err := apply(&cfg, "buskbps", 800); err == nil {
 		t.Fatal("raw buskbps should no longer be a valid dimension after canonicalisation")
+	}
+}
+
+// TestTracedSweepDeterministicAcrossWidths records a trace per point at
+// two pool widths and checks the combined Chrome file is byte-identical:
+// rows carry traces out of the pool in grid order, so serialization never
+// depends on completion order.
+func TestTracedSweepDeterministicAcrossWidths(t *testing.T) {
+	render := func(parallel int) string {
+		spec := testSpec(t, parallel)
+		spec.Trace = true
+		var traces []*tracing.Trace
+		if _, err := spec.stream(func(row sweepRow) {
+			if row.trace == nil {
+				t.Fatal("traced sweep emitted a row without a trace")
+			}
+			traces = append(traces, row.trace)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := tracing.WriteChrome(&b, traces...); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatal("combined Chrome trace differs between -parallel 1 and 8")
+	}
+	if !strings.Contains(seq, `"channels=2/hostoffload"`) {
+		t.Fatal("trace missing per-point process label")
 	}
 }
 

@@ -67,6 +67,14 @@ func Checkpoint(cfg Config) (*CheckpointReport, error) {
 		r.Speedup = float64(r.HostStreamTime) / float64(r.InStorageCopyTime)
 	}
 
+	// Analytic evaluation: emit both strategies as synthetic spans so a
+	// trace shows the external stream and the internal copyback side by
+	// side on the phase track.
+	if cfg.Trace != nil {
+		cfg.Trace.Span(phaseTrack, "ckpt/host-stream", 0, r.HostStreamTime)
+		cfg.Trace.Span(phaseTrack, "ckpt/in-storage-copy", 0, r.InStorageCopyTime)
+	}
+
 	// Capacity: the snapshot needs a second full copy resident.
 	r.CapacityNeeded = 2 * state
 	fullDevice := fullGeometryBytes(cfg)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/odp"
 	"repro/internal/optim"
+	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/units"
 )
@@ -65,6 +66,14 @@ type Config struct {
 	// math in exactly the order the hardware would, proving the
 	// event-driven pipeline preserves numerics. Nil in normal runs.
 	ComputeHook func(unit int64)
+
+	// Trace, when set, is installed as each system's engine tracer before
+	// any work is scheduled, recording resource hold/wait spans and the
+	// model phase spans (grad-transfer, read, kernel, program, ...) on
+	// the "phase" track. The analytic systems (GPUResident, Checkpoint)
+	// emit synthetic spans directly. Nil disables tracing entirely; the
+	// hot paths then cost a single branch (see internal/tracing).
+	Trace sim.Tracer
 
 	// LayerwiseOverlap switches the end-to-end model from the scalar
 	// OverlapFraction formula to a simulated pipeline: gradient chunks

@@ -34,6 +34,9 @@ func (s *CtrlISP) Run() (*Report, error) {
 		return nil, err
 	}
 	eng := sim.NewEngine()
+	if cfg.Trace != nil {
+		eng.SetTracer(cfg.Trace)
+	}
 	dev := ssd.NewDevice(eng, cfg.SSD)
 	geo := dev.Geometry()
 	link := host.NewLink(eng, cfg.Link)
@@ -76,7 +79,7 @@ func (s *CtrlISP) Run() (*Report, error) {
 			chunkUnits = simUnits - k*unitsPerChunk
 		}
 		bytes := chunkUnits * gradB
-		eng.Schedule(avail[k], func() { link.ToDevice(bytes, f.resolve) })
+		eng.Schedule(avail[k], func() { link.ToDevice(bytes, span(eng, "grad-transfer", f.resolve)) })
 	}
 
 	var endTime sim.Time
@@ -109,15 +112,15 @@ func (s *CtrlISP) Run() (*Report, error) {
 		place := lay.Placement(u)
 		// Phase 1: gradient available + all pages pulled to the controller
 		// (array read, then bus transfer out of each component's die).
-		join := sim.NewCounter(1+comps, func() {
+		join := sim.NewCounter(1+comps, span(eng, "read-pull", func() {
 			// Phase 2: controller kernel over this unit's elements.
 			dramBytes := float64(2*residentB + gradB + woutB)
-			ctrl.Run(float64(elems)*float64(kernel), dramBytes, func() {
+			ctrl.Run(float64(elems)*float64(kernel), dramBytes, span(eng, "ctrl-kernel", func() {
 				// Phase 3: push updated pages back and program them.
-				c := sim.NewCounter(comps, func() {
+				c := sim.NewCounter(comps, span(eng, "program-push", func() {
 					outbound.add(woutB)
 					unitDone()
-				})
+				}))
 				for comp := 0; comp < comps; comp++ {
 					lpa := lay.LPA(u, comp)
 					wch, wdie, _ := geo.PlaneLoc(place.Planes[comp])
@@ -126,8 +129,8 @@ func (s *CtrlISP) Run() (*Report, error) {
 						func(nx func()) { dev.ProgramUpdate(lpa, nx) },
 					)
 				}
-			})
-		})
+			}))
+		}))
 		arrived[u/unitsPerChunk].then(join.Done)
 		for comp := 0; comp < comps; comp++ {
 			lpa := lay.LPA(u, comp)

@@ -74,6 +74,11 @@ func (s *GPUResident) Run() (*Report, error) {
 	r.SimUnits = r.TotalUnits
 	r.HBMBytes = int64(hbmBytes)
 	r.WAF = 1
+	// Analytic system: no event engine, so the single fused-kernel phase
+	// is emitted as one synthetic span covering the whole step.
+	if cfg.Trace != nil {
+		cfg.Trace.Span(phaseTrack, "update", 0, r.OptStepTime)
+	}
 
 	evalEnergy(r, energy.Activity{
 		HBMBytes: hbmBytes,

@@ -33,6 +33,9 @@ func (s *HostOffload) Run() (*Report, error) {
 		return nil, err
 	}
 	eng := sim.NewEngine()
+	if cfg.Trace != nil {
+		eng.SetTracer(cfg.Trace)
+	}
 	dev := ssd.NewDevice(eng, cfg.SSD)
 	geo := dev.Geometry()
 	link := host.NewLink(eng, cfg.Link)
@@ -126,14 +129,14 @@ func (s *HostOffload) Run() (*Report, error) {
 		sim.Chain(nil,
 			func(nx func()) { link.FromDevice(n*residentB, nx) },
 			func(nx func()) { grads.then(nx) },
-			func(nx func()) { gpu.Run(flops, hbmBytes, nx) },
+			func(nx func()) { gpu.Run(flops, hbmBytes, span(eng, "gpu-batch", nx)) },
 			func(nx func()) { link.ToDevice(n*residentB, nx) },
 			func(nx func()) {
 				for _, u := range ids {
-					c := sim.NewCounter(comps, func() {
+					c := sim.NewCounter(comps, span(eng, "writeback", func() {
 						unitDone()
 						launch()
-					})
+					}))
 					for comp := 0; comp < comps; comp++ {
 						dev.Write(lay.LPA(u, comp), c.Done)
 					}
@@ -145,7 +148,7 @@ func (s *HostOffload) Run() (*Report, error) {
 
 	var readsArrived int64
 	startUnit := func(u int64) {
-		c := sim.NewCounter(comps, func() {
+		c := sim.NewCounter(comps, span(eng, "read", func() {
 			batch = append(batch, u)
 			readsArrived++
 			// Flush full batches; also flush when no reads remain
@@ -155,7 +158,7 @@ func (s *HostOffload) Run() (*Report, error) {
 			if int64(len(batch)) >= unitsPerBatch || readsArrived == next {
 				flushBatch()
 			}
-		})
+		}))
 		for comp := 0; comp < comps; comp++ {
 			dev.Read(lay.LPA(u, comp), c.Done)
 		}

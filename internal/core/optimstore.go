@@ -35,6 +35,9 @@ func (s *OptimStore) Run() (*Report, error) {
 		return nil, err
 	}
 	eng := sim.NewEngine()
+	if cfg.Trace != nil {
+		eng.SetTracer(cfg.Trace)
+	}
 	dev := ssd.NewDevice(eng, cfg.SSD)
 	geo := dev.Geometry()
 	link := host.NewLink(eng, cfg.Link)
@@ -86,7 +89,7 @@ func (s *OptimStore) Run() (*Report, error) {
 			chunkUnits = simUnits - k*unitsPerChunk
 		}
 		bytes := chunkUnits * gradB
-		eng.Schedule(avail[k], func() { link.ToDevice(bytes, f.resolve) })
+		eng.Schedule(avail[k], func() { link.ToDevice(bytes, span(eng, "grad-transfer", f.resolve)) })
 	}
 
 	var endTime sim.Time
@@ -123,7 +126,7 @@ func (s *OptimStore) Run() (*Report, error) {
 		odpU := units[place.HomeChannel][place.HomeDie]
 
 		readAll := func(done func()) {
-			c := sim.NewCounter(comps, done)
+			c := sim.NewCounter(comps, span(eng, "read", done))
 			for comp := 0; comp < comps; comp++ {
 				lpa := lay.LPA(u, comp)
 				compPlane := place.Planes[comp]
@@ -145,7 +148,7 @@ func (s *OptimStore) Run() (*Report, error) {
 		}
 		// Phase 3: program updated pages (remote components travel back).
 		programAll := func(done func()) {
-			c := sim.NewCounter(comps, done)
+			c := sim.NewCounter(comps, span(eng, "program", done))
 			for comp := 0; comp < comps; comp++ {
 				lpa := lay.LPA(u, comp)
 				compPlane := place.Planes[comp]
@@ -165,11 +168,11 @@ func (s *OptimStore) Run() (*Report, error) {
 		}
 
 		finish := func() {
-			dev.TransferFromDie(place.HomeChannel, place.HomeDie, int(woutB), func() {
+			dev.TransferFromDie(place.HomeChannel, place.HomeDie, int(woutB), span(eng, "writeback", func() {
 				outbound.add(woutB)
 				unitDone()
 				launch()
-			})
+			}))
 		}
 
 		// Phase 2: kernel execution, one or two passes.
@@ -178,7 +181,7 @@ func (s *OptimStore) Run() (*Report, error) {
 				cfg.ComputeHook(u)
 			}
 			if kernel.ReadPasses == 1 {
-				odpU.Exec(elems, kernel.FlopsPerElem, func() { programAll(finish) })
+				odpU.Exec(elems, kernel.FlopsPerElem, span(eng, "kernel", func() { programAll(finish) }))
 				return
 			}
 			// LAMB: pass 1 computes moments and norms; a trust-ratio
@@ -186,15 +189,15 @@ func (s *OptimStore) Run() (*Report, error) {
 			// applies.
 			half := (kernel.FlopsPerElem + 1) / 2
 			sim.Chain(func() { programAll(finish) },
-				func(next func()) { odpU.Exec(elems, half, next) },
+				func(next func()) { odpU.Exec(elems, half, span(eng, "kernel", next)) },
 				func(next func()) {
-					dev.TransferFromDie(place.HomeChannel, place.HomeDie, 64, next)
-				},
-				func(next func()) {
-					dev.TransferToDie(place.HomeChannel, place.HomeDie, 64, next)
+					next = span(eng, "lamb-reduce", next)
+					dev.TransferFromDie(place.HomeChannel, place.HomeDie, 64, func() {
+						dev.TransferToDie(place.HomeChannel, place.HomeDie, 64, next)
+					})
 				},
 				func(next func()) { readAll(next) },
-				func(next func()) { odpU.Exec(elems, kernel.FlopsPerElem-half, next) },
+				func(next func()) { odpU.Exec(elems, kernel.FlopsPerElem-half, span(eng, "kernel", next)) },
 			)
 		}
 

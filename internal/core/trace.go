@@ -1,0 +1,32 @@
+package core
+
+import "repro/internal/sim"
+
+// phaseTrack is the track all model-phase spans are recorded on. Keeping
+// every system's phases on one track makes traces from different systems
+// directly comparable lane-for-lane in a Chrome/Perfetto view; resource
+// activity (channel buses, dies, PCIe, ODP units) appears on per-resource
+// tracks emitted by sim.Resource itself.
+const phaseTrack = "phase"
+
+// span wraps done so that, when the engine carries a tracer, a phase span
+// is recorded from the current simulated time until done runs. With
+// tracing disabled it returns done unchanged, so instrumented call sites
+// cost one nil check and zero allocations — the same contract the engine
+// and resources keep.
+//
+// Call span at the moment the phase logically starts (request time, not
+// grant time): the resulting span then covers queueing as well as
+// service, which is exactly the wall-phase decomposition the paper's
+// overlap analysis needs.
+func span(eng *sim.Engine, name string, done func()) func() {
+	tr := eng.Tracer()
+	if tr == nil {
+		return done
+	}
+	start := eng.Now()
+	return func() {
+		tr.Span(phaseTrack, name, start, eng.Now())
+		done()
+	}
+}

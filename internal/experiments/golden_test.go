@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"repro/internal/tracing"
 )
 
 // renderAll produces every byte an experiment run can emit — the rendered
@@ -51,5 +53,43 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 	if par := renderAll(t, wide); par != renderAll(t, wide) {
 		t.Fatal("parallel rerun differs from itself")
+	}
+}
+
+// renderTrace runs the traced system comparison and serializes both the
+// Chrome trace file and the rendered metrics — every byte `optimstore
+// -trace` writes.
+func renderTrace(t *testing.T, opts Options) string {
+	t.Helper()
+	res, traces, _, err := TraceSystems(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tracing.WriteChrome(&b, traces...); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(res.String())
+	return b.String()
+}
+
+// TestGoldenTraceDeterminism extends the determinism pin to the tracing
+// layer: the Chrome trace file and the trace-derived metrics must be
+// byte-identical across reruns and across worker-pool widths. Traces are
+// recorded per job and assembled in submission order, so completion order
+// must never leak into the file.
+func TestGoldenTraceDeterminism(t *testing.T) {
+	seq := Options{Quick: true, Parallel: 1}
+	wide := Options{Quick: true, Parallel: runtime.GOMAXPROCS(0)}
+
+	golden := renderTrace(t, seq)
+	if golden == "" {
+		t.Fatal("empty trace output")
+	}
+	if again := renderTrace(t, seq); again != golden {
+		t.Fatal("sequential trace rerun differs")
+	}
+	if par := renderTrace(t, wide); par != golden {
+		t.Fatalf("parallel (%d workers) trace differs from sequential", runtime.GOMAXPROCS(0))
 	}
 }

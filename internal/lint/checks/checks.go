@@ -1,6 +1,6 @@
 // Package checks holds the simlint analyzers: the determinism and
 // unit-safety rules the simulator's results depend on. Each analyzer is a
-// lint.Analyzer run by cmd/simlint (verify tier 3); all four support
+// lint.Analyzer run by cmd/simlint (verify tier 3); all of them support
 // suppression via `//simlint:allow <name>` on or directly above the
 // flagged line.
 package checks
@@ -14,7 +14,7 @@ import (
 
 // All returns every simlint analyzer in stable order.
 func All() []*lint.Analyzer {
-	return []*lint.Analyzer{Nondeterminism, UnitConv, FloatEq, SimTime}
+	return []*lint.Analyzer{Nondeterminism, UnitConv, FloatEq, SimTime, TraceSink}
 }
 
 // calleeObj resolves the object a call expression invokes, or nil.

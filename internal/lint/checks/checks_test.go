@@ -28,3 +28,10 @@ func TestFloatEq(t *testing.T) {
 func TestSimTime(t *testing.T) {
 	linttest.Run(t, checks.SimTime, "testdata/simtime")
 }
+
+// TestTraceSink includes the acceptance-gate case: a direct fmt.Fprintf
+// of trace bytes, the write shape that would bypass internal/tracing's
+// byte-stable strconv sink, must be flagged.
+func TestTraceSink(t *testing.T) {
+	linttest.Run(t, checks.TraceSink, "testdata/tracesink")
+}

@@ -1,0 +1,53 @@
+// Package tracesink exercises the tracesink analyzer: fmt stream writes
+// (Fprint*/Print*) are flagged in trace-producing packages; in-memory
+// fmt.Sprintf, direct strconv appends, and allow-directives are not.
+package tracesink
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+type event struct {
+	track string
+	ts    int64
+	dur   int64
+}
+
+func fprintfWrite(w io.Writer, e event) {
+	fmt.Fprintf(w, `{"name":%q,"ts":%d}`, e.track, e.ts) // want `fmt\.Fprintf stream write`
+}
+
+func fprintlnWrite(w io.Writer, e event) {
+	fmt.Fprintln(w, e.track) // want `fmt\.Fprintln stream write`
+	fmt.Fprint(w, e.dur)     // want `fmt\.Fprint stream write`
+}
+
+func printfWrite(e event) {
+	fmt.Printf("%s %d\n", e.track, e.ts) // want `fmt\.Printf stream write`
+}
+
+// appendWrite is the sanctioned shape: strconv appends into a buffer,
+// flushed with a single Write. Byte-stable, allocation-predictable.
+func appendWrite(w io.Writer, e event) error {
+	b := make([]byte, 0, 64)
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, e.track)
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendInt(b, e.ts, 10)
+	b = append(b, '}', '\n')
+	_, err := w.Write(b)
+	return err
+}
+
+// sprintfIsFine: in-memory formatting never reaches a trace file; panic
+// messages and String methods depend on it.
+func sprintfIsFine(e event) string {
+	return fmt.Sprintf("event on %s at %d", e.track, e.ts)
+}
+
+func allowedDiagnostic(w io.Writer, n int) {
+	//simlint:allow tracesink progress note to stderr, not trace bytes
+	fmt.Fprintf(w, "wrote %d events\n", n)
+}

@@ -7,12 +7,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dnn"
+	"repro/internal/tracing"
 )
 
 // sweep32 builds the benchmark workload: a 32-point sweep (8 channel
 // counts × 4 systems) of independent simulation jobs, the grid shape
 // cmd/sweep produces. Every job constructs its own System and Engine.
-func sweep32() []Job[*core.Report] {
+// When traced, each job records into a private tracing.Trace, the shape
+// cmd/sweep -trace runs.
+func sweep32Opt(traced bool) []Job[*core.Report] {
 	channels := []int{1, 2, 3, 4, 6, 8, 12, 16}
 	var jobs []Job[*core.Report]
 	for _, ch := range channels {
@@ -22,6 +25,9 @@ func sweep32() []Job[*core.Report] {
 				cfg := core.DefaultConfig(dnn.GPT13B())
 				cfg.MaxSimUnits = 128
 				cfg.SSD.Channels = ch
+				if traced {
+					cfg.Trace = tracing.New(name)
+				}
 				sys, err := core.NewSystem(name, cfg)
 				if err != nil {
 					return nil, err
@@ -32,6 +38,8 @@ func sweep32() []Job[*core.Report] {
 	}
 	return jobs
 }
+
+func sweep32() []Job[*core.Report] { return sweep32Opt(false) }
 
 // BenchmarkSweep32 measures wall-clock of the 32-point sweep at several
 // pool widths. On an N-core host the workers=N case should approach N×
@@ -60,6 +68,25 @@ func BenchmarkSweep32(b *testing.B) {
 			}
 			s := Summarize(Run(w, jobs))
 			b.ReportMetric(float64(s.Events)/float64(32), "sim-events/job")
+		})
+	}
+}
+
+// BenchmarkSweep32Traced is BenchmarkSweep32 with event tracing enabled
+// on every job — the cost of *recording* (the in-memory event log each
+// resource transition appends to), as opposed to the disabled-tracer cost
+// that BenchmarkSweep32 and the ≤2% regression budget cover. Compare the
+// two to see what -trace actually costs a sweep.
+func BenchmarkSweep32Traced(b *testing.B) {
+	for _, w := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			jobs := sweep32Opt(true)
+			for i := 0; i < b.N; i++ {
+				results := Run(w, jobs)
+				if err := FirstErr(results); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

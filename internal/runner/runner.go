@@ -53,6 +53,10 @@ type Result[T any] struct {
 	// the InvariantReporter interface on its Value (nil if not implemented
 	// or clean). Populated only for successful jobs.
 	Violations []string
+	// TraceEvents is the number of trace events the job's value carried,
+	// via the TraceCarrier interface on its Value (0 if not implemented or
+	// tracing was disabled). Populated only for successful jobs.
+	TraceEvents int64
 }
 
 // PanicError wraps a panic recovered from a job.
@@ -81,6 +85,15 @@ type EventCounter interface {
 // value.
 type InvariantReporter interface {
 	InvariantViolations() []string
+}
+
+// TraceCarrier is implemented by job results that carry a recorded event
+// trace (e.g. a sweep row holding its point's *tracing.Trace). The runner
+// copies the count into Result.TraceEvents so Summarize can report how
+// much trace data a run produced without the runner importing the tracing
+// package — the same decoupling EventCounter and InvariantReporter use.
+type TraceCarrier interface {
+	TraceEventCount() int64
 }
 
 // Workers normalises a worker-count flag: values <= 0 mean "one worker
@@ -200,6 +213,9 @@ func execute[T any](index int, job Job[T]) Result[T] {
 	if ir, ok := any(res.Value).(InvariantReporter); ok && res.Err == nil {
 		res.Violations = ir.InvariantViolations()
 	}
+	if tc, ok := any(res.Value).(TraceCarrier); ok && res.Err == nil {
+		res.TraceEvents = tc.TraceEventCount()
+	}
 	return res
 }
 
@@ -208,10 +224,11 @@ type Summary struct {
 	Jobs       int
 	Errors     int
 	Panics     int
-	Violations int           // total invariant violations across jobs
-	Events     int64         // total simulated events across jobs
-	Busy       time.Duration // sum of per-job wall time (CPU work done)
-	MaxWall    time.Duration // slowest single job
+	Violations  int           // total invariant violations across jobs
+	Events      int64         // total simulated events across jobs
+	TraceEvents int64         // total recorded trace events across jobs
+	Busy        time.Duration // sum of per-job wall time (CPU work done)
+	MaxWall     time.Duration // slowest single job
 }
 
 // Summarize computes a Summary over a run's results.
@@ -227,6 +244,7 @@ func Summarize[T any](results []Result[T]) Summary {
 		}
 		s.Violations += len(r.Violations)
 		s.Events += r.Events
+		s.TraceEvents += r.TraceEvents
 		s.Busy += r.Wall
 		if r.Wall > s.MaxWall {
 			s.MaxWall = r.Wall
@@ -241,6 +259,9 @@ func (s Summary) String() string {
 		s.Jobs, s.Busy.Round(time.Millisecond), s.MaxWall.Round(time.Millisecond))
 	if s.Events > 0 {
 		line += fmt.Sprintf(", %d sim events", s.Events)
+	}
+	if s.TraceEvents > 0 {
+		line += fmt.Sprintf(", %d trace events", s.TraceEvents)
 	}
 	if s.Errors > 0 {
 		line += fmt.Sprintf(", %d errors (%d panics)", s.Errors, s.Panics)

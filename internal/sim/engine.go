@@ -55,6 +55,23 @@ func (t Time) String() string {
 	}
 }
 
+// Tracer observes engine and resource activity. The engine holds at most
+// one; every hook is guarded by a nil check so the disabled state costs a
+// single branch and zero allocations on the hot paths. Implementations
+// must be deterministic functions of their inputs — trace output is held
+// to the same byte-for-byte reproducibility bar as every other simulator
+// output (internal/tracing provides the standard recorder and sinks).
+type Tracer interface {
+	// Span records a completed interval [start, end] on a named track
+	// (resource hold times, model phase spans).
+	Span(track, name string, start, end Time)
+	// Instant records a point event (engine event fired/cancelled).
+	Instant(track, name string, at Time)
+	// Counter records a sampled value at a point in time (queue depths,
+	// units in use).
+	Counter(track, name string, at Time, value float64)
+}
+
 // Event is a scheduled callback. It is returned by the scheduling methods
 // so callers can cancel it before it fires.
 type Event struct {
@@ -109,12 +126,23 @@ type Engine struct {
 	queue   eventQueue
 	fired   uint64
 	stopped bool
+	trace   Tracer
 }
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
 	return &Engine{}
 }
+
+// SetTracer installs (or, with nil, removes) the engine's tracer. Install
+// it before scheduling work: events and resource activity are only
+// observed from the moment the tracer is present.
+func (e *Engine) SetTracer(t Tracer) { e.trace = t }
+
+// Tracer returns the installed tracer, or nil when tracing is disabled.
+// Model code emitting phase spans guards on this exactly like the engine
+// does internally.
+func (e *Engine) Tracer() Tracer { return e.trace }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -161,6 +189,9 @@ func (e *Engine) Cancel(ev *Event) {
 	ev.canceled = true
 	heap.Remove(&e.queue, ev.index)
 	ev.index = -1
+	if e.trace != nil {
+		e.trace.Instant("engine", "cancel", e.now)
+	}
 }
 
 // Step executes the single earliest pending event and advances the clock to
@@ -172,6 +203,9 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.at
 	e.fired++
+	if e.trace != nil {
+		e.trace.Instant("engine", "fire", ev.at)
+	}
 	ev.fn()
 	return true
 }
@@ -186,14 +220,17 @@ func (e *Engine) Run() Time {
 }
 
 // RunUntil executes events with timestamps <= deadline. Events scheduled
-// beyond the deadline remain queued; the clock is advanced to the deadline
-// if the queue drained or only later events remain.
+// beyond the deadline remain queued. The clock advances to the deadline
+// only when the loop exhausted the work before it — the queue drained or
+// only later events remain; after a Stop the clock stays at the stopping
+// event's timestamp, so the returned time reports where the simulation
+// actually halted rather than silently jumping to the deadline.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
 		e.Step()
 	}
-	if e.now < deadline {
+	if !e.stopped && e.now < deadline {
 		e.now = deadline
 	}
 	return e.now

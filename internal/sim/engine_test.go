@@ -132,6 +132,43 @@ func TestEngineRunUntil(t *testing.T) {
 	}
 }
 
+// TestEngineRunUntilStop pins the RunUntil stop-time contract: when Stop
+// fires mid-run the clock must stay at the stopping event's timestamp.
+// The pre-fix code advanced it to the deadline unconditionally, so a
+// harness sampling state at the stop point read the wrong time.
+func TestEngineRunUntilStop(t *testing.T) {
+	e := NewEngine()
+	for _, d := range []Time{10, 20, 30} {
+		e.Schedule(d, func() {})
+	}
+	e.Schedule(15, func() { e.Stop() })
+	if end := e.RunUntil(100); end != 15 {
+		t.Fatalf("RunUntil after Stop returned %d, want stop time 15", end)
+	}
+	if e.Now() != 15 {
+		t.Fatalf("now = %d after Stop, want 15", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want the 20 and 30 events preserved", e.Pending())
+	}
+	// Resuming past the stop still honours the deadline semantics: the
+	// remaining events fire and the clock lands on the deadline.
+	if end := e.RunUntil(100); end != 100 {
+		t.Fatalf("resumed RunUntil = %d, want 100", end)
+	}
+}
+
+// TestEngineRunUntilStopAtDeadlineBoundary checks Stop fired by the last
+// event before the deadline also pins the clock to that event.
+func TestEngineRunUntilStopAtDeadlineBoundary(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(40, func() { e.Stop() })
+	e.Schedule(60, func() {})
+	if end := e.RunUntil(50); end != 40 {
+		t.Fatalf("RunUntil = %d, want 40 (stopped)", end)
+	}
+}
+
 func TestEngineStop(t *testing.T) {
 	e := NewEngine()
 	count := 0

@@ -7,12 +7,20 @@ import "fmt"
 // Requests acquire one unit of capacity, hold it for a caller-determined
 // duration, and release it; waiting requests are granted strictly in
 // arrival order, which keeps simulations deterministic.
+//
+// When the engine carries a Tracer, the resource reports its activity on
+// a track named after the resource: one "hold" span per grant→release
+// interval (their sum is exactly the busy-time integral Utilization is
+// computed from), one "wait" span per queued request, and "in_use"/
+// "queue" counter samples at every transition. With no tracer every hook
+// is a single nil-check branch.
 type Resource struct {
 	eng      *Engine
 	name     string
 	capacity int
 	inUse    int
 	waiters  []func()
+	draining bool
 
 	// Utilisation accounting.
 	busyTime   Time // integral of inUse over time, in unit-nanoseconds
@@ -72,36 +80,76 @@ func (r *Resource) Acquire(granted func(release func())) {
 		r.account()
 		r.inUse++
 		r.grants++
+		grantAt := r.eng.now
+		if t := r.eng.trace; t != nil {
+			t.Counter(r.name, "in_use", grantAt, float64(r.inUse))
+		}
 		released := false
 		granted(func() {
 			if released {
 				panic(fmt.Sprintf("sim: double release of %q", r.name))
 			}
 			released = true
+			if t := r.eng.trace; t != nil {
+				t.Span(r.name, "hold", grantAt, r.eng.now)
+			}
 			r.release()
 		})
 	}
-	if r.inUse < r.capacity {
+	// A free unit is handed over only when no earlier request is still
+	// queued; capacity can be momentarily free with a non-empty queue
+	// while a release drain is in progress, and granting here would let
+	// the newcomer overtake FIFO order.
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
 		grant()
 		return
 	}
-	r.waiters = append(r.waiters, grant)
+	queued := grant
+	if t := r.eng.trace; t != nil {
+		enqAt := r.eng.now
+		queued = func() {
+			t.Span(r.name, "wait", enqAt, r.eng.now)
+			grant()
+		}
+	}
+	r.waiters = append(r.waiters, queued)
 	if len(r.waiters) > r.peakQueue {
 		r.peakQueue = len(r.waiters)
 	}
+	if t := r.eng.trace; t != nil {
+		t.Counter(r.name, "queue", r.eng.now, float64(len(r.waiters)))
+	}
 }
 
+// release returns one unit and hands freed capacity to queued requests in
+// FIFO order. The drain is iterative: a granted waiter that releases
+// synchronously re-enters release, which only decrements and returns
+// (draining is set), leaving the original loop to grant the next waiter.
+// The recursive hand-off this replaces grew the goroutine stack linearly
+// with queue depth — a release at the head of a 100k-deep queue built a
+// 100k-frame release→grant→release chain before unwinding.
 func (r *Resource) release() {
 	r.account()
 	r.inUse--
 	if r.inUse < 0 {
 		panic(fmt.Sprintf("sim: resource %q released below zero", r.name))
 	}
-	if len(r.waiters) > 0 {
+	if t := r.eng.trace; t != nil {
+		t.Counter(r.name, "in_use", r.eng.now, float64(r.inUse))
+	}
+	if r.draining {
+		return
+	}
+	r.draining = true
+	for r.inUse < r.capacity && len(r.waiters) > 0 {
 		next := r.waiters[0]
 		r.waiters = r.waiters[1:]
+		if t := r.eng.trace; t != nil {
+			t.Counter(r.name, "queue", r.eng.now, float64(len(r.waiters)))
+		}
 		next()
 	}
+	r.draining = false
 }
 
 // Use is the common acquire–hold–release pattern: wait for a unit, hold it

@@ -24,8 +24,14 @@ func NewHist(name string) *Hist { return &Hist{name: name} }
 // Name returns the histogram's name.
 func (h *Hist) Name() string { return h.name }
 
-// Add records one sample.
+// Add records one sample. NaN samples are dropped: a NaN would poison
+// Sum/Mean and leave Min/Max/Percentile at the mercy of where the sort
+// happens to park an unordered value, so one bad measurement must not
+// corrupt every summary of the histogram.
 func (h *Hist) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	h.samples = append(h.samples, v)
 	h.sum += v
 	h.sorted = false
@@ -70,15 +76,22 @@ func (h *Hist) Max() float64 {
 	return h.samples[len(h.samples)-1]
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100), or 0 with no
-// samples. It linearly interpolates between the two closest ranks (the
-// "exclusive" variant at rank p/100·(n-1), matching numpy's default
-// quantile method) — it is NOT the nearest-rank method: p50 of {1, 2} is
-// 1.5, not 1 or 2.
+// Percentile returns the p-th percentile, or 0 with no samples. It
+// linearly interpolates between the two closest ranks (the "exclusive"
+// variant at rank p/100·(n-1), matching numpy's default quantile method)
+// — it is NOT the nearest-rank method: p50 of {1, 2} is 1.5, not 1 or 2.
+//
+// Out-of-range p clamps: p <= 0 returns the minimum and p >= 100 the
+// maximum, exactly (no interpolation at the boundaries). A NaN p has no
+// ordering against any rank, so it propagates: Percentile(NaN) is NaN,
+// never a silently-picked sample.
 func (h *Hist) Percentile(p float64) float64 {
 	n := len(h.samples)
 	if n == 0 {
 		return 0
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
 	}
 	h.ensureSorted()
 	if p <= 0 {

@@ -263,3 +263,81 @@ func TestFigureXRange(t *testing.T) {
 		t.Fatalf("range = %v..%v %v", min, max, ok)
 	}
 }
+
+// TestHistPercentileBoundariesAndNaN is the table-driven pin of the
+// hardened edge cases: p outside [0,100] clamps to the exact min/max with
+// no interpolation, a NaN p propagates as NaN, and NaN samples are
+// dropped at Add so Min/Max/Sum/Percentile stay finite.
+func TestHistPercentileBoundariesAndNaN(t *testing.T) {
+	h := NewHist("edge")
+	for _, v := range []float64{10, 20, 30, 40} {
+		h.Add(v)
+	}
+	cases := []struct {
+		name string
+		p    float64
+		want float64 // NaN means "want NaN"
+	}{
+		{"p=0 is exact min", 0, 10},
+		{"p=100 is exact max", 100, 40},
+		{"negative p clamps to min", -25, 10},
+		{"p>100 clamps to max", 250, 40},
+		{"-Inf clamps to min", math.Inf(-1), 10},
+		{"+Inf clamps to max", math.Inf(1), 40},
+		{"just inside 0 interpolates", 1e-9, 10},
+		{"just inside 100 interpolates", 100 - 1e-9, 40},
+		{"NaN p propagates", math.NaN(), math.NaN()},
+	}
+	for _, c := range cases {
+		got := h.Percentile(c.p)
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: Percentile(%v) = %v, want NaN", c.name, c.p, got)
+			}
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("%s: Percentile(%v) = %v, want %v", c.name, c.p, got, c.want)
+		}
+	}
+
+	// NaN p on an empty histogram still returns the documented 0 — the
+	// no-samples case wins before p is even inspected.
+	//simlint:allow floateq the empty case returns the literal constant 0, bit-exact
+	if got := NewHist("empty").Percentile(math.NaN()); got != 0 {
+		t.Errorf("empty Percentile(NaN) = %v, want 0", got)
+	}
+}
+
+// TestHistNaNSamplesDropped checks a NaN sample never reaches the
+// summaries: count, sum, min, max and percentiles are identical to a
+// histogram that never saw it.
+func TestHistNaNSamplesDropped(t *testing.T) {
+	h := NewHist("nan")
+	h.Add(5)
+	h.Add(math.NaN())
+	h.Add(1)
+	h.Add(math.NaN())
+	h.Add(3)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3 (NaN samples must be dropped)", h.Count())
+	}
+	if !approx.Equal(h.Sum(), 9) || !approx.Equal(h.Mean(), 3) {
+		t.Fatalf("sum=%v mean=%v", h.Sum(), h.Mean())
+	}
+	if !approx.Equal(h.Min(), 1) || !approx.Equal(h.Max(), 5) {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+	for _, p := range []float64{0, 25, 50, 75, 100} {
+		if math.IsNaN(h.Percentile(p)) {
+			t.Fatalf("Percentile(%v) is NaN", p)
+		}
+	}
+	// All-NaN input behaves exactly like an empty histogram.
+	all := NewHist("allnan")
+	all.Add(math.NaN())
+	//simlint:allow floateq empty-histogram summaries return the literal constant 0, bit-exact
+	if all.Count() != 0 || all.Min() != 0 || all.Max() != 0 || all.Percentile(50) != 0 {
+		t.Fatal("all-NaN histogram should match the empty histogram")
+	}
+}

@@ -1,0 +1,140 @@
+package tracing
+
+import (
+	"io"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// WriteChrome serializes one or more traces as Chrome trace_event JSON
+// (the "JSON Array Format" wrapped in a traceEvents object), loadable in
+// chrome://tracing and https://ui.perfetto.dev. Each trace becomes one
+// process (pid = 1-based trace index, named by the trace label); each
+// track becomes one thread within it (tid = 1-based first-seen track
+// index), so a multi-job sweep renders as parallel process lanes.
+//
+// Spans are emitted as complete events ("X"), instants as "i", counters
+// as "C". Timestamps and durations are microseconds with exactly three
+// fractional digits, computed with integer arithmetic from the nanosecond
+// sim clock — no float formatting is involved, so output is byte-stable.
+//
+// The serializer deliberately builds output with strconv appends rather
+// than fmt stream writes: fmt verbs on float64 are easy to get
+// non-deterministic (%v of -0, NaN) and the simlint tracesink check bans
+// fmt writes in sink code for that reason.
+func WriteChrome(w io.Writer, traces ...*Trace) error {
+	b := make([]byte, 0, 1<<16)
+	b = append(b, `{"traceEvents":[`...)
+	first := true
+	emit := func() error {
+		// Flush in chunks so huge traces do not hold a second full copy.
+		if len(b) < 1<<20 {
+			return nil
+		}
+		_, err := w.Write(b)
+		b = b[:0]
+		return err
+	}
+	for ti, tr := range traces {
+		pid := ti + 1
+		b = appendMeta(b, &first, pid, 0, "process_name", tr.label)
+		for i, track := range tr.tracks {
+			b = appendMeta(b, &first, pid, i+1, "thread_name", track)
+		}
+		for _, e := range tr.events {
+			if !first {
+				b = append(b, ',')
+			}
+			first = false
+			b = append(b, `{"name":`...)
+			b = appendJSONString(b, e.Name)
+			b = append(b, `,"ph":"`...)
+			switch e.Kind {
+			case KindSpan:
+				b = append(b, 'X')
+			case KindInstant:
+				b = append(b, 'i')
+			case KindCounter:
+				b = append(b, 'C')
+			}
+			b = append(b, `","pid":`...)
+			b = strconv.AppendInt(b, int64(pid), 10)
+			b = append(b, `,"tid":`...)
+			b = strconv.AppendInt(b, int64(tr.trackIdx[e.Track]+1), 10)
+			b = append(b, `,"ts":`...)
+			b = appendMicros(b, int64(e.Start))
+			switch e.Kind {
+			case KindSpan:
+				b = append(b, `,"dur":`...)
+				b = appendMicros(b, int64(e.End-e.Start))
+			case KindInstant:
+				b = append(b, `,"s":"t"`...)
+			case KindCounter:
+				b = append(b, `,"args":{"value":`...)
+				b = strconv.AppendFloat(b, e.Value, 'g', -1, 64)
+				b = append(b, '}')
+			}
+			b = append(b, '}')
+			if err := emit(); err != nil {
+				return err
+			}
+		}
+	}
+	b = append(b, "]}\n"...)
+	_, err := w.Write(b)
+	return err
+}
+
+// appendMeta appends a metadata ("M") event naming a process or thread.
+func appendMeta(b []byte, first *bool, pid, tid int, key, name string) []byte {
+	if !*first {
+		b = append(b, ',')
+	}
+	*first = false
+	b = append(b, `{"name":"`...)
+	b = append(b, key...)
+	b = append(b, `","ph":"M","pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"args":{"name":`...)
+	b = appendJSONString(b, name)
+	b = append(b, `}}`...)
+	return b
+}
+
+// appendMicros renders a nanosecond count as microseconds with exactly
+// three fractional digits, using only integer arithmetic.
+func appendMicros(b []byte, ns int64) []byte {
+	if ns < 0 {
+		b = append(b, '-')
+		ns = -ns
+	}
+	const nsPerUs = int64(sim.Microsecond)
+	b = strconv.AppendInt(b, ns/nsPerUs, 10)
+	frac := ns % nsPerUs
+	b = append(b, '.')
+	b = append(b, byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10))
+	return b
+}
+
+// appendJSONString appends s as a JSON string literal. Track and span
+// names are plain ASCII identifiers; the escaper still handles quotes,
+// backslashes, and control characters so arbitrary labels stay valid.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}

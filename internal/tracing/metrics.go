@@ -1,0 +1,147 @@
+package tracing
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// spanStat aggregates the spans sharing one (track, name) pair.
+type spanStat struct {
+	track, name string
+	count       int
+	total       sim.Time
+	max         sim.Time
+}
+
+// spanStats folds a trace's spans into per-(track, name) aggregates,
+// returned in first-seen order so output stays deterministic without
+// relying on map iteration.
+func spanStats(tr *Trace) []spanStat {
+	idx := map[[2]string]int{}
+	var out []spanStat
+	for _, e := range tr.events {
+		if e.Kind != KindSpan {
+			continue
+		}
+		key := [2]string{e.Track, e.Name}
+		i, ok := idx[key]
+		if !ok {
+			i = len(out)
+			idx[key] = i
+			out = append(out, spanStat{track: e.Track, name: e.Name})
+		}
+		d := e.End - e.Start
+		out[i].count++
+		out[i].total += d
+		if d > out[i].max {
+			out[i].max = d
+		}
+	}
+	return out
+}
+
+// SummaryTable renders per-(track, span) aggregates for one or more
+// traces: span count, total busy time, mean and max span duration, and —
+// for resource hold spans — the fraction of the trace horizon the track
+// was busy. Rows are grouped by trace and ordered by track first-seen
+// order, so the table is byte-identical across reruns.
+func SummaryTable(traces ...*Trace) *stats.Table {
+	t := stats.NewTable("trace span summary",
+		"trace", "track", "span", "count", "total_ms", "mean_us", "max_us", "busy_frac")
+	for _, tr := range traces {
+		end := tr.End()
+		for _, s := range spanStats(tr) {
+			mean := 0.0
+			if s.count > 0 {
+				mean = s.total.Micros() / float64(s.count)
+			}
+			frac := 0.0
+			if end > 0 {
+				frac = float64(s.total) / float64(end)
+			}
+			t.AddRow(tr.label, s.track, s.name, s.count,
+				s.total.Millis(), mean, s.max.Micros(), frac)
+		}
+	}
+	return t
+}
+
+// UtilizationTimeline buckets the trace horizon into the given number of
+// equal windows and, for each track carrying spans with the given name,
+// emits the fraction of each window covered by those spans — a
+// utilization-over-time figure (x: window midpoint in ms, y: busy
+// fraction). For resource tracks with name "hold" this is the temporal
+// decomposition of Resource.Utilization: the time-weighted mean of each
+// series equals the end-of-run utilization for a capacity-1 resource.
+func UtilizationTimeline(tr *Trace, name string, buckets int) *stats.Figure {
+	if buckets <= 0 {
+		buckets = 1
+	}
+	end := tr.End()
+	fig := stats.NewFigure("resource utilization timeline: "+tr.label,
+		"time (ms)", "busy fraction")
+	if end == 0 {
+		return fig
+	}
+	// Accumulate per-track per-bucket busy time (plain nanosecond counts:
+	// bucket indices and widths are not durations, so the overlap math
+	// stays in int64 rather than claiming sim.Time units it doesn't have).
+	busy := map[string][]int64{}
+	var tracks []string
+	for _, e := range tr.events {
+		if e.Kind != KindSpan || e.Name != name {
+			continue
+		}
+		bs, ok := busy[e.Track]
+		if !ok {
+			bs = make([]int64, buckets)
+			busy[e.Track] = bs
+			tracks = append(tracks, e.Track)
+		}
+		addSpanToBuckets(bs, int64(e.Start), int64(e.End), int64(end))
+	}
+	sort.Strings(tracks)
+	width := float64(end) / float64(buckets)
+	for _, track := range tracks {
+		s := fig.AddSeries(track)
+		for i, b := range busy[track] {
+			mid := (float64(i) + 0.5) * width
+			s.Add(units.Nanos(mid).Millis(), float64(b)/width)
+		}
+	}
+	return fig
+}
+
+// addSpanToBuckets distributes the overlap of [start, stop] across the
+// equal-width buckets spanning [0, horizon]. All arguments are
+// nanosecond counts.
+func addSpanToBuckets(bs []int64, start, stop, horizon int64) {
+	n := int64(len(bs))
+	if stop > horizon {
+		stop = horizon
+	}
+	if start >= stop {
+		return
+	}
+	lo := int(start * n / horizon)
+	hi := int((stop - 1) * n / horizon)
+	if hi >= len(bs) {
+		hi = len(bs) - 1
+	}
+	for i := lo; i <= hi; i++ {
+		bLo := int64(i) * horizon / n
+		bHi := int64(i+1) * horizon / n
+		if bLo < start {
+			bLo = start
+		}
+		if bHi > stop {
+			bHi = stop
+		}
+		if bHi > bLo {
+			bs[i] += bHi - bLo
+		}
+	}
+}
