@@ -14,9 +14,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify tier1 tier2 tier3 tier4 fuzz-smoke trace-verify bench
+.PHONY: verify tier1 tier2 tier3 tier4 fuzz-smoke trace-verify bench bench-gate
 
-verify: tier1 tier2 tier3 tier4 trace-verify
+verify: tier1 tier2 tier3 tier4 trace-verify bench-gate
 
 tier1:
 	$(GO) build ./...
@@ -48,5 +48,14 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFTLOps          -fuzztime=$(FUZZTIME) ./internal/ssd/
 	$(GO) test -run='^$$' -fuzz=FuzzEngineOrdering  -fuzztime=$(FUZZTIME) ./internal/sim/
 
+# bench (re)measures the kernel and writes the canonical snapshot;
+# bench-gate re-measures and fails when any benchmark's events/sec falls
+# more than 15% below the committed snapshot (see DESIGN.md — use
+# `go run ./cmd/bench -check -update` to accept a deliberate slowdown).
+# `go test -bench` remains available for ad-hoc runs of individual
+# benchmarks (e.g. -bench BenchmarkSweep32 ./internal/runner/).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/bench -write
+
+bench-gate:
+	$(GO) run ./cmd/bench -check

@@ -1,0 +1,73 @@
+// Command bench measures the simulation kernel's throughput and
+// maintains the committed benchmark snapshot (the BENCH_*.json
+// trajectory DESIGN.md describes).
+//
+// Usage:
+//
+//	bench                 # measure and print, touch nothing
+//	bench -write          # measure and (re)write the snapshot
+//	bench -check          # measure and fail on >15% events/sec regression
+//	bench -check -update  # regressions rewrite the snapshot instead of failing
+//
+// `make bench` runs -write; `make verify` runs -check. The -update
+// escape hatch is for deliberate slowdowns (e.g. trading speed for a
+// modelling fix): it accepts the new numbers as the baseline, which the
+// accompanying commit should justify.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_006.json", "snapshot file")
+		write     = flag.Bool("write", false, "write the snapshot after measuring")
+		check     = flag.Bool("check", false, "compare against the committed snapshot, exit 1 on regression")
+		update    = flag.Bool("update", false, "with -check: rewrite the snapshot on regression instead of failing")
+		threshold = flag.Float64("threshold", 0.15, "events/sec regression fraction -check tolerates")
+	)
+	flag.Parse()
+
+	ms, err := bench.RunAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-24s %14s %12s %14s\n", "benchmark", "events/sec", "ns/event", "allocs/event")
+	for _, m := range ms {
+		fmt.Printf("%-24s %14.0f %12.1f %14.3f\n", m.Name, m.EventsPerSec, m.NsPerEvent, m.AllocsPerEvent)
+	}
+
+	if *check {
+		committed, err := bench.Load(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: no committed snapshot to check against: %v\n(run `make bench` and commit %s)\n", err, *out)
+			os.Exit(1)
+		}
+		if msgs := bench.Compare(committed, ms, *threshold); len(msgs) > 0 {
+			for _, m := range msgs {
+				fmt.Fprintf(os.Stderr, "bench: REGRESSION: %s\n", m)
+			}
+			if !*update {
+				fmt.Fprintf(os.Stderr, "bench: intentional? re-baseline with `go run ./cmd/bench -check -update`\n")
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "bench: -update set, accepting new baseline\n")
+			*write = true
+		} else {
+			fmt.Printf("bench: OK — no bench more than %.0f%% below %s\n", *threshold*100, *out)
+		}
+	}
+	if *write {
+		if err := bench.Write(*out, bench.NewSnapshot(ms)); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench: wrote %s\n", *out)
+	}
+}

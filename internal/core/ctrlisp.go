@@ -69,18 +69,7 @@ func (s *CtrlISP) Run() (*Report, error) {
 		unitsPerChunk = 1
 	}
 	nChunks := (simUnits + unitsPerChunk - 1) / unitsPerChunk
-	avail := gradSchedule(cfg, nChunks)
-	arrived := make([]*future, nChunks)
-	for k := int64(0); k < nChunks; k++ {
-		arrived[k] = &future{}
-		f := arrived[k]
-		chunkUnits := unitsPerChunk
-		if k == nChunks-1 {
-			chunkUnits = simUnits - k*unitsPerChunk
-		}
-		bytes := chunkUnits * gradB
-		eng.Schedule(avail[k], func() { link.ToDevice(bytes, span(eng, "grad-transfer", f.resolve)) })
-	}
+	arrived := scheduleGradArrivals(eng, link.ToDevice, gradSchedule(cfg, nChunks), simUnits, unitsPerChunk, gradB)
 
 	var endTime sim.Time
 	finished := false

@@ -74,14 +74,18 @@ func (s *HostOffload) Run() (*Report, error) {
 	// Layer-wise overlap: the GPU kernel for a batch needs that batch's
 	// gradients, which the backward pass produces over time. (State reads
 	// from the SSD are gradient-independent and overlap freely.)
+	// Gradients are already on the GPU: availability needs no transfer,
+	// just timed resolution — still posted as one batch.
 	nAvail := (simUnits + unitsPerBatch - 1) / unitsPerBatch
 	avail := gradSchedule(cfg, nAvail)
 	gradReady := make([]*future, nAvail)
+	arrivals := make([]sim.Timed, nAvail)
 	for k := range gradReady {
 		f := &future{}
 		gradReady[k] = f
-		eng.Schedule(avail[k], f.resolve)
+		arrivals[k] = sim.Timed{Delay: avail[k], Fn: f.resolve}
 	}
+	eng.ScheduleBatch(arrivals)
 
 	var endTime sim.Time
 	finished := false

@@ -140,6 +140,32 @@ func gradSchedule(cfg Config, nChunks int64) []sim.Time {
 	return avail
 }
 
+// scheduleGradArrivals posts the backward pass's gradient-chunk arrivals
+// in one ScheduleBatch call: chunk k becomes available at avail[k],
+// crosses PCIe, and resolves the returned future. The fan-out is the
+// largest single burst of same-time scheduling in a run (hundreds of
+// chunks at paper scale), exactly the storm the engine's batch path
+// amortizes into a single heapify.
+func scheduleGradArrivals(eng *sim.Engine, toDevice func(int64, func()), avail []sim.Time, simUnits, unitsPerChunk, gradB int64) []*future {
+	nChunks := int64(len(avail))
+	arrived := make([]*future, nChunks)
+	items := make([]sim.Timed, nChunks)
+	for k := int64(0); k < nChunks; k++ {
+		f := &future{}
+		arrived[k] = f
+		chunkUnits := unitsPerChunk
+		if k == nChunks-1 {
+			chunkUnits = simUnits - k*unitsPerChunk
+		}
+		bytes := chunkUnits * gradB
+		items[k] = sim.Timed{Delay: avail[k], Fn: func() {
+			toDevice(bytes, span(eng, "grad-transfer", f.resolve))
+		}}
+	}
+	eng.ScheduleBatch(items)
+	return arrived
+}
+
 // endToEnd fills the end-to-end fields of a report: forward+backward
 // compute on the GPU, optimizer step partially hidden under it.
 func (c Config) endToEnd(r *Report) {

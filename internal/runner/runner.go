@@ -221,9 +221,9 @@ func execute[T any](index int, job Job[T]) Result[T] {
 
 // Summary aggregates the per-job metrics of one run.
 type Summary struct {
-	Jobs       int
-	Errors     int
-	Panics     int
+	Jobs        int
+	Errors      int
+	Panics      int
 	Violations  int           // total invariant violations across jobs
 	Events      int64         // total simulated events across jobs
 	TraceEvents int64         // total recorded trace events across jobs

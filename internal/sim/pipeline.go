@@ -15,8 +15,23 @@ func NewCounter(n int, done func()) *Counter {
 	return &Counter{n: n, done: done}
 }
 
-// Add increases the number of expected completions.
-func (c *Counter) Add(delta int) { c.n += delta }
+// Add adjusts the number of expected completions by delta (negative
+// deltas retire expectations, e.g. a fork-join cancelling branches).
+// Reaching zero fires the callback exactly like Done and Arm do — a
+// fork-join whose last outstanding branches are cancelled via Add(-k)
+// must complete, not deadlock. Driving the count below zero panics, the
+// same over-completion bug Done catches.
+func (c *Counter) Add(delta int) {
+	c.n += delta
+	if c.n < 0 {
+		panic("sim: Counter.Add below zero")
+	}
+	if c.n == 0 && c.done != nil {
+		cb := c.done
+		c.done = nil
+		cb()
+	}
+}
 
 // Remaining returns the number of completions still outstanding.
 func (c *Counter) Remaining() int { return c.n }

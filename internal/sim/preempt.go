@@ -25,19 +25,32 @@ type Preemptible struct {
 	busy      bool
 	curLowPri bool
 	curEnd    *Event
+	curOp     *pendingOp
 	curDone   func()
 	curFinish Time
+	// curOverhead is the resume-overhead share at the front of the
+	// current service interval: zero for a fresh operation,
+	// ResumeOverhead for a resumed one. Suspending again nets out the
+	// portion not yet consumed, so overhead never compounds across
+	// repeated suspends (see suspendCurrent).
+	curOverhead Time
 
-	suspended *suspendedOp
-	hiQueue   []*pendingOp
-	loQueue   []*pendingOp
+	suspended    suspendedOp
+	hasSuspended bool
+	hiQueue      []*pendingOp
+	loQueue      []*pendingOp
+	freeOps      []*pendingOp
 
 	preemptions uint64
 	busyTime    Time
 	curStart    Time
 }
 
+// pendingOp is one queued or in-service operation. Ops are recycled
+// through the freeOps freelist and double as the completion-event
+// argument, so a steady-state Use cycle allocates nothing.
 type pendingOp struct {
+	p      *Preemptible
 	d      Time
 	done   func()
 	lowPri bool
@@ -62,15 +75,34 @@ func (p *Preemptible) Preemptions() uint64 { return p.preemptions }
 // Busy reports whether an operation is executing right now.
 func (p *Preemptible) Busy() bool { return p.busy }
 
+func (p *Preemptible) getOp() *pendingOp {
+	if n := len(p.freeOps); n > 0 {
+		op := p.freeOps[n-1]
+		p.freeOps[n-1] = nil
+		p.freeOps = p.freeOps[:n-1]
+		return op
+	}
+	return &pendingOp{p: p}
+}
+
+func (p *Preemptible) putOp(op *pendingOp) {
+	op.done = nil
+	p.freeOps = append(p.freeOps, op)
+}
+
 // Use runs a preemptible (low-priority) operation of duration d, then done.
 func (p *Preemptible) Use(d Time, done func()) {
-	p.submit(&pendingOp{d: d, done: done, lowPri: true})
+	op := p.getOp()
+	op.d, op.done, op.lowPri = d, done, true
+	p.submit(op)
 }
 
 // UsePriority runs a high-priority operation of duration d, suspending the
 // current low-priority occupant if necessary, then done.
 func (p *Preemptible) UsePriority(d Time, done func()) {
-	p.submit(&pendingOp{d: d, done: done, lowPri: false})
+	op := p.getOp()
+	op.d, op.done, op.lowPri = d, done, false
+	p.submit(op)
 }
 
 func (p *Preemptible) submit(op *pendingOp) {
@@ -85,39 +117,72 @@ func (p *Preemptible) submit(op *pendingOp) {
 		}
 		return
 	}
-	p.start(op.d, op.done, op.lowPri)
+	p.start(op.d, op.done, op.lowPri, 0)
+	p.putOp(op)
 }
 
+// suspendCurrent captures the occupant's remaining *work* and cancels its
+// completion event. If the occupant was itself a resumed operation, part
+// of its service interval is resume overhead rather than work; whatever
+// overhead has not elapsed yet is netted out, because the next resume
+// charges a fresh ResumeOverhead. Carrying it forward instead (the
+// pre-fix behaviour) compounded one extra overhead per suspend, inflating
+// program latency under read-heavy interference.
 func (p *Preemptible) suspendCurrent() {
-	remaining := p.curFinish - p.eng.Now()
+	now := p.eng.Now()
+	remaining := p.curFinish - now
 	if remaining < 0 {
 		remaining = 0
 	}
-	p.busyTime += p.eng.Now() - p.curStart
+	if unconsumed := p.curOverhead - (now - p.curStart); unconsumed > 0 {
+		remaining -= unconsumed
+		if remaining < 0 {
+			remaining = 0
+		}
+	}
+	p.busyTime += now - p.curStart
 	p.eng.Cancel(p.curEnd)
-	p.suspended = &suspendedOp{remaining: remaining, done: p.curDone}
+	if p.curOp != nil {
+		p.putOp(p.curOp)
+		p.curOp = nil
+	}
+	p.suspended = suspendedOp{remaining: remaining, done: p.curDone}
+	p.hasSuspended = true
 	p.preemptions++
 	p.busy = false
 	p.curEnd = nil
 	p.curDone = nil
 }
 
-func (p *Preemptible) start(d Time, done func(), lowPri bool) {
+func (p *Preemptible) start(d Time, done func(), lowPri bool, overhead Time) {
 	p.busy = true
 	p.curLowPri = lowPri
 	p.curDone = done
 	p.curStart = p.eng.Now()
 	p.curFinish = p.eng.Now() + d
-	p.curEnd = p.eng.Schedule(d, func() {
-		p.busy = false
-		p.curEnd = nil
-		p.curDone = nil
-		p.busyTime += p.eng.Now() - p.curStart
-		if done != nil {
-			done()
-		}
-		p.dispatch()
-	})
+	p.curOverhead = overhead
+	op := p.getOp()
+	op.done = done
+	p.curOp = op
+	p.curEnd = p.eng.scheduleArg(d, finishPreemptible, op)
+}
+
+// finishPreemptible is the completion callback of the in-service
+// operation (package function: scheduling it allocates no closure).
+func finishPreemptible(arg any) {
+	op := arg.(*pendingOp)
+	p := op.p
+	done := op.done
+	p.curOp = nil
+	p.putOp(op)
+	p.busy = false
+	p.curEnd = nil
+	p.curDone = nil
+	p.busyTime += p.eng.Now() - p.curStart
+	if done != nil {
+		done()
+	}
+	p.dispatch()
 }
 
 // dispatch picks the next work item: high-priority queue, then the
@@ -128,19 +193,25 @@ func (p *Preemptible) dispatch() {
 	}
 	if len(p.hiQueue) > 0 {
 		op := p.hiQueue[0]
-		p.hiQueue = p.hiQueue[1:]
-		p.start(op.d, op.done, false)
+		copy(p.hiQueue, p.hiQueue[1:])
+		p.hiQueue = p.hiQueue[:len(p.hiQueue)-1]
+		p.start(op.d, op.done, false, 0)
+		p.putOp(op)
 		return
 	}
-	if s := p.suspended; s != nil {
-		p.suspended = nil
-		p.start(s.remaining+p.ResumeOverhead, s.done, true)
+	if p.hasSuspended {
+		s := p.suspended
+		p.suspended = suspendedOp{}
+		p.hasSuspended = false
+		p.start(s.remaining+p.ResumeOverhead, s.done, true, p.ResumeOverhead)
 		return
 	}
 	if len(p.loQueue) > 0 {
 		op := p.loQueue[0]
-		p.loQueue = p.loQueue[1:]
-		p.start(op.d, op.done, true)
+		copy(p.loQueue, p.loQueue[1:])
+		p.loQueue = p.loQueue[:len(p.loQueue)-1]
+		p.start(op.d, op.done, true, 0)
+		p.putOp(op)
 	}
 }
 

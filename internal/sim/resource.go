@@ -2,6 +2,26 @@ package sim
 
 import "fmt"
 
+// useReq is one pooled Use-path request: the duration to hold a unit and
+// the completion callback. Requests live on the resource's freelist
+// between uses, so a steady-state Use cycle allocates nothing — the
+// request struct doubles as the argument of the completion event
+// (scheduleArg), replacing the three closures the old path allocated.
+type useReq struct {
+	r       *Resource
+	d       Time
+	done    func()
+	enqAt   Time // wait-span start; -1 when not enqueued under tracing
+	grantAt Time
+}
+
+// qent is one FIFO queue slot: either a pooled Use request or an
+// Acquire-path grant thunk. Exactly one field is set.
+type qent struct {
+	w  *useReq
+	fn func()
+}
+
 // Resource models a server (or pool of identical servers) with a FIFO
 // request queue: a NAND plane, a channel bus, a DMA engine, a PCIe link.
 // Requests acquire one unit of capacity, hold it for a caller-determined
@@ -19,8 +39,14 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  []func()
 	draining bool
+
+	// FIFO queue with a head cursor instead of reslicing, so drained
+	// storage is reused rather than leaked; freeReqs recycles Use-path
+	// request structs.
+	q        []qent
+	head     int
+	freeReqs []*useReq
 
 	// Utilisation accounting.
 	busyTime   Time // integral of inUse over time, in unit-nanoseconds
@@ -48,7 +74,7 @@ func (r *Resource) Capacity() int { return r.capacity }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of requests waiting for a unit.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return len(r.q) - r.head }
 
 // Grants returns how many acquisitions have been granted in total.
 func (r *Resource) Grants() uint64 { return r.grants }
@@ -70,11 +96,57 @@ func (r *Resource) Utilization() float64 {
 	return float64(total) / (float64(now) * float64(r.capacity))
 }
 
+func (r *Resource) getReq() *useReq {
+	if n := len(r.freeReqs); n > 0 {
+		w := r.freeReqs[n-1]
+		r.freeReqs[n-1] = nil
+		r.freeReqs = r.freeReqs[:n-1]
+		return w
+	}
+	return &useReq{r: r}
+}
+
+func (r *Resource) putReq(w *useReq) {
+	w.done = nil
+	r.freeReqs = append(r.freeReqs, w)
+}
+
+// enqueue appends a request slot, tracking queue depth.
+func (r *Resource) enqueue(ent qent) {
+	r.q = append(r.q, ent)
+	if n := len(r.q) - r.head; n > r.peakQueue {
+		r.peakQueue = n
+	}
+	if t := r.eng.trace; t != nil {
+		t.Counter(r.name, "queue", r.eng.now, float64(len(r.q)-r.head))
+	}
+}
+
+// dequeue pops the FIFO head, compacting drained storage.
+func (r *Resource) dequeue() qent {
+	ent := r.q[r.head]
+	r.q[r.head] = qent{}
+	r.head++
+	if r.head == len(r.q) {
+		r.q = r.q[:0]
+		r.head = 0
+	}
+	if t := r.eng.trace; t != nil {
+		t.Counter(r.name, "queue", r.eng.now, float64(len(r.q)-r.head))
+	}
+	return ent
+}
+
 // Acquire requests one unit. When a unit is available — immediately, or
 // once earlier requests release — granted is invoked with a release
 // function that must be called exactly once. The grant happens
 // synchronously when capacity is free, so callers must not assume a
 // simulated-time delay.
+//
+// Acquire is the flexible (closure-allocating) path; the common
+// hold-for-a-duration pattern should use Use, which recycles its request
+// and event structs through freelists and allocates nothing in steady
+// state.
 func (r *Resource) Acquire(granted func(release func())) {
 	grant := func() {
 		r.account()
@@ -100,7 +172,7 @@ func (r *Resource) Acquire(granted func(release func())) {
 	// queued; capacity can be momentarily free with a non-empty queue
 	// while a release drain is in progress, and granting here would let
 	// the newcomer overtake FIFO order.
-	if r.inUse < r.capacity && len(r.waiters) == 0 {
+	if r.inUse < r.capacity && len(r.q) == r.head {
 		grant()
 		return
 	}
@@ -112,12 +184,36 @@ func (r *Resource) Acquire(granted func(release func())) {
 			grant()
 		}
 	}
-	r.waiters = append(r.waiters, queued)
-	if len(r.waiters) > r.peakQueue {
-		r.peakQueue = len(r.waiters)
-	}
+	r.enqueue(qent{fn: queued})
+}
+
+// grantUse starts service for a Use-path request: one unit is taken and
+// the completion event is scheduled through the pooled path.
+func (r *Resource) grantUse(w *useReq) {
+	r.account()
+	r.inUse++
+	r.grants++
+	w.grantAt = r.eng.now
 	if t := r.eng.trace; t != nil {
-		t.Counter(r.name, "queue", r.eng.now, float64(len(r.waiters)))
+		t.Counter(r.name, "in_use", w.grantAt, float64(r.inUse))
+	}
+	r.eng.scheduleArg(w.d, finishUse, w)
+}
+
+// finishUse is the completion callback of a Use-path request (package
+// function, so scheduling it allocates no closure): release the unit,
+// recycle the request, then run the caller's callback.
+func finishUse(arg any) {
+	w := arg.(*useReq)
+	r := w.r
+	if t := r.eng.trace; t != nil {
+		t.Span(r.name, "hold", w.grantAt, r.eng.now)
+	}
+	done := w.done
+	r.putReq(w)
+	r.release()
+	if done != nil {
+		done()
 	}
 }
 
@@ -141,13 +237,18 @@ func (r *Resource) release() {
 		return
 	}
 	r.draining = true
-	for r.inUse < r.capacity && len(r.waiters) > 0 {
-		next := r.waiters[0]
-		r.waiters = r.waiters[1:]
-		if t := r.eng.trace; t != nil {
-			t.Counter(r.name, "queue", r.eng.now, float64(len(r.waiters)))
+	for r.inUse < r.capacity && r.head < len(r.q) {
+		ent := r.dequeue()
+		if ent.w != nil {
+			if ent.w.enqAt >= 0 {
+				if t := r.eng.trace; t != nil {
+					t.Span(r.name, "wait", ent.w.enqAt, r.eng.now)
+				}
+			}
+			r.grantUse(ent.w)
+		} else {
+			ent.fn()
 		}
-		next()
 	}
 	r.draining = false
 }
@@ -155,15 +256,24 @@ func (r *Resource) release() {
 // Use is the common acquire–hold–release pattern: wait for a unit, hold it
 // for d nanoseconds of simulated time, then release and call done (which
 // may be nil). It returns immediately; everything happens via events.
+//
+// This is the kernel's hottest path (every NAND array operation, bus
+// transfer and link transfer goes through it); the request and its
+// completion event are recycled through freelists, so steady-state Use
+// costs zero heap allocations (pinned by TestDisabledTracerAddsNoAllocations).
 func (r *Resource) Use(d Time, done func()) {
-	r.Acquire(func(release func()) {
-		r.eng.Schedule(d, func() {
-			release()
-			if done != nil {
-				done()
-			}
-		})
-	})
+	w := r.getReq()
+	w.d = d
+	w.done = done
+	w.enqAt = -1
+	if r.inUse < r.capacity && len(r.q) == r.head {
+		r.grantUse(w)
+		return
+	}
+	if r.eng.trace != nil {
+		w.enqAt = r.eng.now
+	}
+	r.enqueue(qent{w: w})
 }
 
 // PeakQueue returns the maximum number of simultaneously waiting requests

@@ -365,11 +365,12 @@ func TestTracerObservesEngineAndResource(t *testing.T) {
 }
 
 // TestDisabledTracerAddsNoAllocations pins the hot-path cost of the
-// disabled tracer: a steady-state Use+Run cycle allocates exactly what it
-// did before instrumentation existed (6 allocations: the grant and
-// release closures, the Use callback, and the scheduled event), so the
-// nil-tracer guards are free. Measured with the same workload as the
-// pre-instrumentation baseline.
+// disabled tracer and of the pooled kernel: a steady-state Use+Run cycle
+// allocates nothing at all — the request struct comes from the
+// resource's freelist, the completion event from the engine's, and the
+// completion callback is a package function taking the pooled request as
+// its argument, so there are no closures to heap-allocate. (The
+// pre-pooling kernel allocated 6 objects per cycle here.)
 func TestDisabledTracerAddsNoAllocations(t *testing.T) {
 	e := NewEngine()
 	r := NewResource(e, "r", 1)
@@ -381,7 +382,8 @@ func TestDisabledTracerAddsNoAllocations(t *testing.T) {
 		r.Use(1, nil)
 		e.Run()
 	})
-	if per > 6 {
-		t.Fatalf("Use+Run allocates %v with tracing disabled, want <= 6 (pre-instrumentation baseline)", per)
+	//simlint:allow floateq AllocsPerRun returns a whole count; the pin is exactly zero
+	if per != 0 {
+		t.Fatalf("Use+Run allocates %v with tracing disabled, want 0 (pooled request/event kernel)", per)
 	}
 }

@@ -6,6 +6,75 @@ import (
 
 const unmapped = int64(-1)
 
+// pageMap chunk geometry: entries are materialized in chunks of 2^15
+// int64s (256 KiB) the first time any entry in the chunk is written.
+const (
+	pageMapChunkBits = 15
+	pageMapChunkSize = 1 << pageMapChunkBits
+	pageMapChunkMask = pageMapChunkSize - 1
+)
+
+// pageMap is a sparse array of page numbers defaulting to unmapped. A
+// freshly built device maps nothing, and paper-scale sweeps touch only
+// the working set of each job, so materializing translation tables
+// on demand (nil chunk ⇒ every entry unmapped) removes the dominant
+// cost of device construction: eagerly allocating and -1-filling
+// whole-device l2p/p2l arrays was ~90% of a 32-job sweep's wall time.
+//
+// Entries are stored as uint32 biased by +1 so the zero value of a
+// fresh chunk already means unmapped — make's zeroing (free for freshly
+// mapped OS pages) replaces an explicit -1 fill loop that showed up as
+// ~25% of sweep time for write-heavy jobs, and 4-byte entries halve the
+// chunk-zeroing bandwidth of the original int64 tables. The bias caps a
+// device (or its logical space) at 2^32-2 pages, checked at build.
+type pageMap struct {
+	chunks [][]uint32
+}
+
+func newPageMap(n int64) pageMap {
+	if n >= 1<<32-1 {
+		panic(fmt.Sprintf("ssd: page map over %d pages exceeds uint32 encoding", n))
+	}
+	return pageMap{chunks: make([][]uint32, (n+pageMapChunkSize-1)>>pageMapChunkBits)}
+}
+
+func (m *pageMap) get(i int64) int64 {
+	c := m.chunks[i>>pageMapChunkBits]
+	if c == nil {
+		return unmapped
+	}
+	return int64(c[i&pageMapChunkMask]) - 1
+}
+
+func (m *pageMap) set(i, v int64) {
+	ci := i >> pageMapChunkBits
+	c := m.chunks[ci]
+	if c == nil {
+		if v == unmapped {
+			return
+		}
+		c = make([]uint32, pageMapChunkSize)
+		m.chunks[ci] = c
+	}
+	c[i&pageMapChunkMask] = uint32(v + 1)
+}
+
+// forEach visits every mapped entry in index order, skipping
+// unmaterialized chunks wholesale.
+func (m *pageMap) forEach(fn func(i, v int64)) {
+	for ci, c := range m.chunks {
+		if c == nil {
+			continue
+		}
+		base := int64(ci) << pageMapChunkBits
+		for j, v := range c {
+			if v != 0 {
+				fn(base+int64(j), int64(v)-1)
+			}
+		}
+	}
+}
+
 // FTL is a page-level log-structured flash translation layer. It owns the
 // logical→physical map, per-plane write frontiers, per-block valid counts,
 // and the bookkeeping half of garbage collection. It performs no simulated
@@ -15,8 +84,8 @@ type FTL struct {
 	geo          Geometry
 	logicalPages int64
 
-	l2p        []int64 // logical page -> linear PPA, or unmapped
-	p2l        []int64 // linear PPA -> logical page, or unmapped (free/stale)
+	l2p        pageMap // logical page -> linear PPA, or unmapped
+	p2l        pageMap // linear PPA -> logical page, or unmapped (free/stale)
 	validCount []int32 // valid pages per global block
 	erases     []int32 // P/E cycles per global block (FTL's own tally)
 
@@ -58,17 +127,11 @@ func NewFTL(geo Geometry, logicalPages int64) *FTL {
 	f := &FTL{
 		geo:          geo,
 		logicalPages: logicalPages,
-		l2p:          make([]int64, logicalPages),
-		p2l:          make([]int64, total),
+		l2p:          newPageMap(logicalPages),
+		p2l:          newPageMap(total),
 		validCount:   make([]int32, geo.BlocksTotal()),
 		erases:       make([]int32, geo.BlocksTotal()),
 		planes:       make([]planeAlloc, geo.Planes()),
-	}
-	for i := range f.l2p {
-		f.l2p[i] = unmapped
-	}
-	for i := range f.p2l {
-		f.p2l[i] = unmapped
 	}
 	for p := range f.planes {
 		pa := &f.planes[p]
@@ -92,7 +155,7 @@ func (f *FTL) LogicalPages() int64 { return f.logicalPages }
 // written (or was trimmed).
 func (f *FTL) Lookup(lpa int64) (PPA, bool) {
 	f.checkLPA(lpa)
-	lin := f.l2p[lpa]
+	lin := f.l2p.get(lpa)
 	if lin == unmapped {
 		return PPA{}, false
 	}
@@ -188,15 +251,15 @@ func (f *FTL) AllocPageStream(planeIdx int, stream Stream) PPA {
 func (f *FTL) CommitWrite(lpa int64, ppa PPA, gc bool) {
 	f.checkLPA(lpa)
 	lin := f.geo.Linear(ppa)
-	if f.p2l[lin] != unmapped {
+	if f.p2l.get(lin) != unmapped {
 		panic(fmt.Sprintf("ssd: commit to already-valid page %v", ppa))
 	}
-	if old := f.l2p[lpa]; old != unmapped {
-		f.p2l[old] = unmapped
+	if old := f.l2p.get(lpa); old != unmapped {
+		f.p2l.set(old, unmapped)
 		f.validCount[f.geo.BlockIndex(f.geo.FromLinear(old))]--
 	}
-	f.l2p[lpa] = lin
-	f.p2l[lin] = lpa
+	f.l2p.set(lpa, lin)
+	f.p2l.set(lin, lpa)
 	f.validCount[f.geo.BlockIndex(ppa)]++
 	if gc {
 		f.gcProgrammed++
@@ -208,10 +271,10 @@ func (f *FTL) CommitWrite(lpa int64, ppa PPA, gc bool) {
 // Invalidate trims a logical page, dropping its mapping if present.
 func (f *FTL) Invalidate(lpa int64) {
 	f.checkLPA(lpa)
-	if old := f.l2p[lpa]; old != unmapped {
-		f.p2l[old] = unmapped
+	if old := f.l2p.get(lpa); old != unmapped {
+		f.p2l.set(old, unmapped)
 		f.validCount[f.geo.BlockIndex(f.geo.FromLinear(old))]--
-		f.l2p[lpa] = unmapped
+		f.l2p.set(lpa, unmapped)
 	}
 }
 
@@ -246,7 +309,7 @@ func (f *FTL) ValidLPAs(planeIdx, block int) []int64 {
 	start := int64(blockGlobal) * int64(f.geo.PagesPerBlock)
 	var lpas []int64
 	for p := 0; p < f.geo.PagesPerBlock; p++ {
-		if lpa := f.p2l[start+int64(p)]; lpa != unmapped {
+		if lpa := f.p2l.get(start + int64(p)); lpa != unmapped {
 			lpas = append(lpas, lpa)
 		}
 	}
@@ -268,7 +331,7 @@ func (f *FTL) OnErased(planeIdx, block int) {
 	blockGlobal := planeIdx*f.geo.BlocksPerPlane + block
 	start := int64(blockGlobal) * int64(f.geo.PagesPerBlock)
 	for p := 0; p < f.geo.PagesPerBlock; p++ {
-		f.p2l[start+int64(p)] = unmapped
+		f.p2l.set(start+int64(p), unmapped)
 	}
 	f.erases[blockGlobal]++
 	f.planes[planeIdx].free = append(f.planes[planeIdx].free, int32(block))
@@ -318,25 +381,34 @@ func (f *FTL) WAF() float64 {
 // by property tests; O(total pages).
 func (f *FTL) CheckConsistent() error {
 	counts := make([]int32, len(f.validCount))
-	for lin, lpa := range f.p2l {
-		if lpa == unmapped {
-			continue
+	var err error
+	f.p2l.forEach(func(lin, lpa int64) {
+		if err != nil {
+			return
 		}
 		if lpa < 0 || lpa >= f.logicalPages {
-			return fmt.Errorf("p2l[%d] = %d out of range", lin, lpa)
+			err = fmt.Errorf("p2l[%d] = %d out of range", lin, lpa)
+			return
 		}
-		if f.l2p[lpa] != int64(lin) {
-			return fmt.Errorf("p2l[%d]=%d but l2p[%d]=%d", lin, lpa, lpa, f.l2p[lpa])
+		if got := f.l2p.get(lpa); got != lin {
+			err = fmt.Errorf("p2l[%d]=%d but l2p[%d]=%d", lin, lpa, lpa, got)
+			return
 		}
-		counts[f.geo.BlockIndex(f.geo.FromLinear(int64(lin)))]++
+		counts[f.geo.BlockIndex(f.geo.FromLinear(lin))]++
+	})
+	if err != nil {
+		return err
 	}
-	for lpa, lin := range f.l2p {
-		if lin == unmapped {
-			continue
+	f.l2p.forEach(func(lpa, lin int64) {
+		if err != nil {
+			return
 		}
-		if f.p2l[lin] != int64(lpa) {
-			return fmt.Errorf("l2p[%d]=%d but p2l[%d]=%d", lpa, lin, lin, f.p2l[lin])
+		if got := f.p2l.get(lin); got != lpa {
+			err = fmt.Errorf("l2p[%d]=%d but p2l[%d]=%d", lpa, lin, lin, got)
 		}
+	})
+	if err != nil {
+		return err
 	}
 	for b := range counts {
 		if counts[b] != f.validCount[b] {
