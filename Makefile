@@ -1,8 +1,10 @@
 # Verification tiers. Tier 1 is the fast always-green gate; tier 2 adds
 # go vet and the race detector — required since internal/runner introduced
 # real concurrency (the worker pool that fans simulation points across
-# CPUs); tier 3 runs simlint, the project's own static analyzers for
-# determinism and unit safety (see DESIGN.md); tier 4 runs the physical-
+# CPUs); tier 3 runs simlint, the project's own static analyzers: the
+# per-unit determinism and unit-safety rules plus the module-wide
+# flow-aware passes (hotalloc, poolsafe, globalstate — see DESIGN.md
+# §10); tier 4 runs the physical-
 # invariant sweep (internal/invariant: conservation, roofline sandwich,
 # metamorphic monotonicity over hundreds of configurations) plus a short
 # native-fuzz smoke of every pure-kernel fuzz target; trace-verify
@@ -14,16 +16,18 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify tier1 tier2 tier3 tier4 fuzz-smoke trace-verify bench bench-gate
+.PHONY: verify vet tier1 tier2 tier3 tier4 fuzz-smoke trace-verify bench bench-gate
 
 verify: tier1 tier2 tier3 tier4 trace-verify bench-gate
+
+vet:
+	$(GO) vet ./...
 
 tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2:
-	$(GO) vet ./...
+tier2: vet
 	$(GO) test -race ./...
 
 tier3:

@@ -1,5 +1,7 @@
 // Command simlint is the repository's static-analysis multichecker:
-// verify tier 3. It runs five analyzers over the module —
+// verify tier 3. It runs two kinds of analyzers over the module.
+//
+// Per-unit analyzers inspect one package at a time:
 //
 //	nondeterminism  wall-clock reads, global math/rand, map-order iteration
 //	unitconv        raw scale-factor literals outside internal/units
@@ -7,19 +9,30 @@
 //	simtime         bare sim.Time(x) conversions without a named constructor
 //	tracesink       fmt stream writes that would bypass the trace sink
 //
+// Module analyzers run once over the whole load set, with the
+// cross-package call graph in hand:
+//
+//	hotalloc        allocations reachable from //simlint:hotpath functions
+//	poolsafe        use-after-release of //simlint:pooled handles
+//	globalstate     writes to mutable package-level state
+//
 // Findings are suppressed line-by-line with `//simlint:allow <check>
-// [reason]` placed on, or directly above, the offending line.
+// [reason]` placed on, or directly above, the offending line; a directive
+// that suppresses nothing is itself a finding (unusedallow).
 //
 // Usage:
 //
 //	simlint [packages]     # default ./...
+//	simlint -json          # one JSON object per finding, one per line
 //	simlint -list          # print analyzers and their scopes
 //
-// Exit status is 1 if any diagnostic survives suppression, 2 on load
-// errors.
+// Exit status: 0 when no diagnostic survives suppression, 1 when at
+// least one does, 2 when any package fails to load or typecheck. CI and
+// wrapper scripts rely on this contract; -json does not change it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,9 +43,19 @@ import (
 	"repro/internal/lint/checks"
 )
 
-// scope limits an analyzer to the packages where its rule is policy.
+// scope limits a per-unit analyzer to the packages where its rule is
+// policy.
 type scope struct {
 	analyzer *lint.Analyzer
+	include  func(rel string) bool
+	describe string
+}
+
+// moduleScope limits a module analyzer's *findings* by position: the
+// analyzer always sees the whole load set (its call chains may cross any
+// boundary), but only reports anchored inside the scope survive.
+type moduleScope struct {
+	analyzer *lint.ModuleAnalyzer
 	include  func(rel string) bool
 	describe string
 }
@@ -44,18 +67,33 @@ type scope struct {
 //     print wall-clock timings.
 //   - unitconv and simtime govern everything outside the packages that
 //     define the units (internal/units and the sim kernel itself, whose
-//     Time type the constructors wrap).
+//     Time type the constructors wrap). That includes internal/lint: the
+//     linter obeys its own rules.
 //   - floateq governs every test in the module.
 //   - tracesink governs the packages that record and serialize event
 //     traces; their output must stay byte-stable, so trace bytes go
 //     through internal/tracing's strconv-append sink, never fmt streams.
 var scopes = []scope{
 	{checks.Nondeterminism, underAny("internal", "cmd"), "internal/..., cmd/..."},
-	{checks.UnitConv, not(underAny("internal/units", "internal/lint")), "all but internal/units, internal/lint"},
-	{checks.FloatEq, not(underAny("internal/lint")), "all tests but internal/lint's"},
-	{checks.SimTime, not(underAny("internal/sim", "internal/units", "internal/lint")), "all but internal/sim, internal/units, internal/lint"},
+	{checks.UnitConv, not(underAny("internal/units")), "all but internal/units"},
+	{checks.FloatEq, all, "all tests"},
+	{checks.SimTime, not(underAny("internal/sim", "internal/units")), "all but internal/sim, internal/units"},
 	{checks.TraceSink, underAny("internal/tracing"), "internal/tracing"},
 }
+
+// moduleScopes is the module-analyzer policy.
+//
+//   - hotalloc and poolsafe are driven entirely by annotations
+//     (//simlint:hotpath, //simlint:pooled); they apply module-wide.
+//   - globalstate governs the sim-adjacent packages (internal/ and
+//     cmd/), where shared mutable state couples simulations.
+var moduleScopes = []moduleScope{
+	{checks.HotAlloc, all, "whole module (annotation-driven)"},
+	{checks.PoolSafe, all, "whole module (annotation-driven)"},
+	{checks.GlobalState, underAny("internal", "cmd"), "internal/..., cmd/..."},
+}
+
+func all(string) bool { return true }
 
 func underAny(prefixes ...string) func(string) bool {
 	return func(rel string) bool {
@@ -74,9 +112,15 @@ func not(f func(string) bool) func(string) bool {
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as JSON, one object per line")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: simlint [-list] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: simlint [-json] [-list] [packages]\n\nPer-unit analyzers:\n")
 		for _, s := range scopes {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n                   scope: %s\n",
+				s.analyzer.Name, s.analyzer.Doc, s.describe)
+		}
+		fmt.Fprintf(os.Stderr, "\nModule analyzers:\n")
+		for _, s := range moduleScopes {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n                   scope: %s\n",
 				s.analyzer.Name, s.analyzer.Doc, s.describe)
 		}
@@ -86,10 +130,22 @@ func main() {
 		flag.Usage()
 		return
 	}
-	os.Exit(run(flag.Args()))
+	os.Exit(run(flag.Args(), *asJSON))
 }
 
-func run(patterns []string) int {
+// finding is the -json output shape. The field order is part of the
+// interface: encoding/json emits struct fields in declaration order, so
+// consumers can diff artifact files across runs.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Category string `json:"category"`
+	Message  string `json:"message"`
+}
+
+func run(patterns []string, asJSON bool) int {
 	root, modPath, err := lint.FindModule(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
@@ -102,38 +158,79 @@ func run(patterns []string) int {
 	}
 
 	loader := lint.NewLoader(root, modPath)
-	found, failed := 0, false
+	failed := false
+	var units []*lint.Unit
 	for _, dir := range dirs {
-		units, err := loader.LoadDir(dir)
+		us, err := loader.LoadDir(dir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simlint:", err)
 			failed = true
 			continue
 		}
-		for _, unit := range units {
-			rel := relPath(root, unit.Dir)
-			var applicable []*lint.Analyzer
-			for _, s := range scopes {
-				if s.include(rel) {
-					applicable = append(applicable, s.analyzer)
-				}
-			}
-			if len(applicable) == 0 {
-				continue
-			}
-			diags, err := lint.RunAnalyzers(unit, applicable...)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "simlint:", err)
-				failed = true
-				continue
-			}
-			for _, d := range diags {
-				pos := unit.Fset.Position(d.Pos)
-				fmt.Printf("%s:%d:%d: %s [%s]\n",
-					relPath(root, pos.Filename), pos.Line, pos.Column, d.Message, d.Analyzer)
-				found++
+		units = append(units, us...)
+	}
+
+	// Raw diagnostics from both pass kinds, then one global suppression
+	// pass: an allow directive used only by a module analyzer must not be
+	// reported stale by the per-unit runs (and vice versa).
+	var raw []lint.Diagnostic
+	for _, unit := range units {
+		rel := relPath(root, unit.Dir)
+		var applicable []*lint.Analyzer
+		for _, s := range scopes {
+			if s.include(rel) {
+				applicable = append(applicable, s.analyzer)
 			}
 		}
+		if len(applicable) == 0 {
+			continue
+		}
+		diags, err := lint.RunUnitAnalyzers(unit, applicable...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			failed = true
+			continue
+		}
+		raw = append(raw, diags...)
+	}
+	if len(units) > 0 {
+		var moduleAnalyzers []*lint.ModuleAnalyzer
+		include := map[string]func(string) bool{}
+		for _, s := range moduleScopes {
+			moduleAnalyzers = append(moduleAnalyzers, s.analyzer)
+			include[s.analyzer.Name] = s.include
+		}
+		diags, err := lint.RunModuleAnalyzers(units, moduleAnalyzers...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			failed = true
+		}
+		for _, d := range diags {
+			pos := units[0].Fset.Position(d.Pos)
+			if inc := include[d.Analyzer]; inc != nil && inc(relPath(root, filepath.Dir(pos.Filename))) {
+				raw = append(raw, d)
+			}
+		}
+	}
+
+	found := 0
+	enc := json.NewEncoder(os.Stdout)
+	for _, d := range lint.Suppress(units, raw) {
+		pos := units[0].Fset.Position(d.Pos)
+		if asJSON {
+			enc.Encode(finding{
+				File:     relPath(root, pos.Filename),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Category: d.Category,
+				Message:  d.Message,
+			})
+		} else {
+			fmt.Printf("%s:%d:%d: %s [%s]\n",
+				relPath(root, pos.Filename), pos.Line, pos.Column, d.Message, d.Analyzer)
+		}
+		found++
 	}
 	switch {
 	case failed:

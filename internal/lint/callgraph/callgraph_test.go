@@ -1,0 +1,109 @@
+package callgraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func buildGraph(t *testing.T) *Graph {
+	t.Helper()
+	root, modPath, err := lint.FindModule(".")
+	if err != nil {
+		t.Fatalf("find module: %v", err)
+	}
+	loader := lint.NewLoader(root, modPath)
+	var units []*lint.Unit
+	for _, dir := range []string{"testdata/calls/a", "testdata/calls/b"} {
+		us, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		units = append(units, us...)
+	}
+	return Build(units)
+}
+
+// node finds the unique graph node whose key ends in suffix.
+func node(t *testing.T, g *Graph, suffix string) *Node {
+	t.Helper()
+	var found *Node
+	for _, n := range g.All() {
+		if strings.HasSuffix(n.Key, suffix) {
+			if found != nil {
+				t.Fatalf("key suffix %q is ambiguous: %s and %s", suffix, found.Key, n.Key)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node with key suffix %q", suffix)
+	}
+	return found
+}
+
+// edgeTo reports whether from has an edge to to, and whether that edge
+// is an interface-dispatch edge.
+func edgeTo(from, to *Node) (ok, viaInterface bool) {
+	for _, e := range from.Out {
+		if e.To == to {
+			return true, e.ViaInterface
+		}
+	}
+	return false, false
+}
+
+func TestStaticEdges(t *testing.T) {
+	g := buildGraph(t)
+	root := node(t, g, "a.Root")
+	leaf := node(t, g, "a.Leaf")
+	if ok, via := edgeTo(root, leaf); !ok || via {
+		t.Errorf("Root -> Leaf: got ok=%v viaInterface=%v, want static edge", ok, via)
+	}
+}
+
+func TestInterfaceDispatchEdges(t *testing.T) {
+	g := buildGraph(t)
+	root := node(t, g, "a.Root")
+	do := node(t, g, "a.Impl).Do")
+	ok, via := edgeTo(root, do)
+	if !ok || !via {
+		t.Errorf("Root -> (Impl).Do: got ok=%v viaInterface=%v, want interface edge", ok, via)
+	}
+}
+
+// TestCrossPackageEdges is the load-bearing case: package b's units see
+// package a only as an import copy, so edges must resolve through
+// canonical name keys, not object identity.
+func TestCrossPackageEdges(t *testing.T) {
+	g := buildGraph(t)
+	cross := node(t, g, "b.Cross")
+	leaf := node(t, g, "a.Leaf")
+	do := node(t, g, "a.Impl).Do")
+	if ok, via := edgeTo(cross, leaf); !ok || via {
+		t.Errorf("Cross -> Leaf: got ok=%v viaInterface=%v, want static edge", ok, via)
+	}
+	if ok, via := edgeTo(cross, do); !ok || via {
+		t.Errorf("Cross -> (Impl).Do: got ok=%v viaInterface=%v, want static edge", ok, via)
+	}
+}
+
+func TestFunctionValueIsSink(t *testing.T) {
+	g := buildGraph(t)
+	via := node(t, g, "a.ViaValue")
+	if len(via.Out) != 0 {
+		t.Errorf("calls through function values must not produce edges; got %d", len(via.Out))
+	}
+}
+
+func TestTestFileNodesMarked(t *testing.T) {
+	g := buildGraph(t)
+	helper := node(t, g, "a.helperForTest")
+	if !helper.Test {
+		t.Errorf("functions in _test.go files must be marked Test")
+	}
+	if node(t, g, "a.Root").Test {
+		t.Errorf("production functions must not be marked Test")
+	}
+}

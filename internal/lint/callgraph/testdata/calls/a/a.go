@@ -1,0 +1,29 @@
+// Package a is the callee side of the callgraph testdata tree.
+package a
+
+// Doer is dispatched through an interface in Root.
+type Doer interface {
+	Do(x int)
+}
+
+// Impl satisfies Doer.
+type Impl struct{}
+
+// Do is the concrete method behind the interface edge.
+func (Impl) Do(x int) {
+	Leaf()
+}
+
+// Root calls statically and through an interface.
+func Root(d Doer) {
+	d.Do(1)
+	Leaf()
+}
+
+// Leaf terminates every chain.
+func Leaf() {}
+
+// ViaValue calls through a function value: a sink, no edge.
+func ViaValue(f func()) {
+	f()
+}

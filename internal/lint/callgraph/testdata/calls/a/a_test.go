@@ -1,0 +1,6 @@
+package a
+
+// helperForTest lives in a _test.go file; its node must be marked Test.
+func helperForTest() {
+	Leaf()
+}

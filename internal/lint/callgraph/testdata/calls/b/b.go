@@ -1,0 +1,14 @@
+// Package b is the caller side of the callgraph testdata tree: its
+// edges into package a must resolve although the two packages were
+// typechecked in different type-checker universes.
+package b
+
+import "repro/internal/lint/callgraph/testdata/calls/a"
+
+// Cross calls a package function and a concrete method across the
+// package boundary.
+func Cross() {
+	a.Leaf()
+	var i a.Impl
+	i.Do(2)
+}

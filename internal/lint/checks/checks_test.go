@@ -3,16 +3,23 @@ package checks_test
 import (
 	"testing"
 
+	"repro/internal/lint"
 	"repro/internal/lint/checks"
 	"repro/internal/lint/linttest"
 )
 
-// Each analyzer runs over a testdata package holding at least one
-// positive (flagged, `// want`-annotated) and one negative case, plus an
-// exercised //simlint:allow directive.
+// Each analyzer runs over a testdata package (or, for the module
+// analyzers and the ported nondeterminism suite, a multi-package
+// testdata tree) holding at least one positive (flagged,
+// `// want`-annotated) and one negative case, plus an exercised
+// //simlint:allow directive.
 
+// TestNondeterminism runs over a two-package tree: the per-unit
+// analyzer's behaviour must be identical whether driven by Run or by
+// the multi-package RunTree harness.
 func TestNondeterminism(t *testing.T) {
-	linttest.Run(t, checks.Nondeterminism, "testdata/nondeterminism")
+	linttest.RunTree(t, "testdata/nondeterminism",
+		[]*lint.Analyzer{checks.Nondeterminism}, nil)
 }
 
 // TestUnitConv includes the acceptance-gate case: the PR 1 buskbps-style
@@ -34,4 +41,26 @@ func TestSimTime(t *testing.T) {
 // byte-stable strconv sink, must be flagged.
 func TestTraceSink(t *testing.T) {
 	linttest.Run(t, checks.TraceSink, "testdata/tracesink")
+}
+
+// TestHotAlloc is an acceptance-gate case: a planted hot-path
+// allocation two call-graph hops (and one package boundary) from the
+// annotated root must be flagged with the full chain in the message.
+func TestHotAlloc(t *testing.T) {
+	linttest.RunTree(t, "testdata/hotalloc",
+		nil, []*lint.ModuleAnalyzer{checks.HotAlloc})
+}
+
+// TestPoolSafe is an acceptance-gate case: a planted use-after-release
+// on one control-flow path (plus double-release, loop back-edge, and
+// package-level escape variants) must be flagged, while
+// release-then-reacquire and disjoint-path uses stay clean.
+func TestPoolSafe(t *testing.T) {
+	linttest.RunTree(t, "testdata/poolsafe",
+		nil, []*lint.ModuleAnalyzer{checks.PoolSafe})
+}
+
+func TestGlobalState(t *testing.T) {
+	linttest.RunTree(t, "testdata/globalstate",
+		nil, []*lint.ModuleAnalyzer{checks.GlobalState})
 }

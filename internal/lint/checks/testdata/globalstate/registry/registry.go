@@ -1,0 +1,30 @@
+// Package registry exercises the globalstate analyzer's allow story: a
+// setup-time registry whose registration write is documented, next to
+// runtime mutations that are findings.
+package registry
+
+// handlers is a setup-time registry; only Register writes it, and that
+// write carries an allow.
+var handlers = map[string]func(){}
+
+var counter int
+
+// Register is called during program setup; the write is deliberate.
+func Register(name string, fn func()) {
+	//simlint:allow globalstate setup-time registry write
+	handlers[name] = fn
+}
+
+// Bump mutates shared package state at runtime.
+func Bump() {
+	counter++ // want "increment of package-level counter"
+}
+
+// Drop clears a registry entry outside setup.
+func Drop(name string) {
+	delete(handlers, name) // want "delete of package-level handlers"
+}
+
+func init() {
+	counter = 0 // init is configuration, not shared mutable state
+}

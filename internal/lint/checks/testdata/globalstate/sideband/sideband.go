@@ -1,0 +1,26 @@
+// Package sideband is the second package of the globalstate tree:
+// instance-scoped and local writes must stay clean while package-level
+// stores are flagged.
+package sideband
+
+var last string
+
+// Record parks runtime state in a package-level variable.
+func Record(s string) {
+	last = s // want "write of package-level last"
+}
+
+// Box is instance-scoped state; writes through a receiver are fine.
+type Box struct{ v int }
+
+// Set writes a field of its receiver, not package state.
+func (b *Box) Set(v int) {
+	b.v = v
+}
+
+// Local writes only locals, including one shadowing a package name.
+func Local() int {
+	last := 1
+	last++
+	return last
+}

@@ -1,0 +1,28 @@
+// Package helper is the callee side of the hotalloc testdata tree: it
+// has no hotpath annotations itself and is only hot because package hot
+// calls into it.
+package helper
+
+// Grow is reached from hot.Step; the chain in the diagnostic must cross
+// the package boundary.
+func Grow(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i) // want "append may grow the backing array"
+	}
+	return describe(dst)
+}
+
+// describe is two hops from the root.
+func describe(dst []int) []int {
+	name := "grown:" + itoa(len(dst)) // want "string concatenation allocates"
+	_ = name
+	return dst
+}
+
+// itoa is alloc-free on purpose: a negative leaf on the hot chain.
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return "many"
+}

@@ -1,0 +1,37 @@
+// Package hot is the annotated-root side of the hotalloc testdata tree:
+// allocations here and in the helper package it calls must be flagged
+// with the full call chain.
+package hot
+
+import "repro/internal/lint/checks/testdata/hotalloc/helper"
+
+// Step is the annotated hot root.
+//
+//simlint:hotpath
+func Step(n int) {
+	s := make([]int, n) // want "make allocates"
+	_ = s
+	helper.Grow(nil, n)
+	cold(n)
+}
+
+// cold has no annotation of its own but is reached from Step, so its
+// allocations are hot.
+func cold(n int) {
+	m := map[int]int{} // want "map literal allocates"
+	m[n] = n           // want "map write may allocate"
+}
+
+// NotHot is unreachable from any hot root; its allocations are fine.
+func NotHot(n int) []int {
+	return append(make([]int, 0, n), n)
+}
+
+// Spawn demonstrates a deliberate, documented exception.
+//
+//simlint:hotpath
+func Spawn() int {
+	//simlint:allow hotalloc deliberate closure for the directive test
+	f := func() int { return 1 }
+	return f()
+}

@@ -1,11 +1,10 @@
-// Package nondet exercises the nondeterminism analyzer: wall-clock reads,
-// global math/rand, and map-order iteration are flagged; seeded
-// generators, slice ranges and allow-directives are not.
-package nondet
+// Package clock is the wall-clock/rand half of the nondeterminism tree:
+// wall-clock reads and global math/rand are flagged; seeded generators
+// and allow-directives are not.
+package clock
 
 import (
 	"math/rand"
-	"sort"
 	"time"
 )
 
@@ -40,49 +39,6 @@ func globalRand() int {
 func seededRandIsFine(seed int64) float64 {
 	rng := rand.New(rand.NewSource(seed))
 	return rng.NormFloat64()
-}
-
-func mapOrder(m map[string]int) int {
-	sum := 0
-	for _, v := range m { // want `range over map iterates in randomized order`
-		sum += v
-	}
-	return sum
-}
-
-func mapLenIsFine(m map[string]int) int {
-	n := 0
-	for range m { // observes only len(m); no order dependence
-		n++
-	}
-	return n
-}
-
-func sortedKeysAreFine(m map[string]int) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m { // want `range over map`
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-func allowedMapOrder(m map[string]int) bool {
-	//simlint:allow maporder pure existence check, order-free
-	for _, v := range m {
-		if v < 0 {
-			return true
-		}
-	}
-	return false
-}
-
-func sliceRangeIsFine(s []int) int {
-	total := 0
-	for _, v := range s {
-		total += v
-	}
-	return total
 }
 
 func staleDirective(s []int) int {

@@ -1,0 +1,49 @@
+// Package order is the map-iteration half of the nondeterminism tree:
+// map-order-dependent ranges are flagged; length-only ranges, sorted-key
+// collection and slice ranges are not.
+package order
+
+import "sort"
+
+func mapOrder(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `range over map iterates in randomized order`
+		sum += v
+	}
+	return sum
+}
+
+func mapLenIsFine(m map[string]int) int {
+	n := 0
+	for range m { // observes only len(m); no order dependence
+		n++
+	}
+	return n
+}
+
+func sortedKeysAreFine(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `range over map`
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func allowedMapOrder(m map[string]int) bool {
+	//simlint:allow maporder pure existence check, order-free
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func sliceRangeIsFine(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,88 @@
+// Package client exercises the poolsafe analyzer across the package
+// boundary: handles from the pool package released on some control-flow
+// paths and touched on others.
+package client
+
+import "repro/internal/lint/checks/testdata/poolsafe/pool"
+
+// UseAfterPut reads the handle after it went back to the pool.
+func UseAfterPut() int {
+	o := pool.Get()
+	pool.Put(o)
+	return o.ID // want "use of pooled o after release"
+}
+
+// DoubleRelease releases one handle twice, via method then function.
+func DoubleRelease() {
+	o := pool.Get()
+	o.Release()
+	pool.Put(o) // want "pooled o released again after release"
+}
+
+// BranchRelease releases on one path only; the read after the join is
+// reachable from the releasing path (may-analysis).
+func BranchRelease(cond bool) int {
+	o := pool.Get()
+	if cond {
+		pool.Put(o)
+	}
+	return o.ID // want "use of pooled o after release"
+}
+
+// LoopRelease releases at the bottom of the loop body; the read at the
+// top is reached through the back edge on iteration two.
+func LoopRelease(n int) {
+	o := pool.Get()
+	for i := 0; i < n; i++ {
+		_ = o.ID    // want "use of pooled o after release"
+		pool.Put(o) // want "pooled o released again after release"
+	}
+}
+
+// Reacquire reassigns the variable to a fresh handle, which kills the
+// released fact.
+func Reacquire() int {
+	o := pool.Get()
+	pool.Put(o)
+	o = pool.Get()
+	return o.ID
+}
+
+// UseBeforePut touches the handle only while it is live.
+func UseBeforePut() int {
+	o := pool.Get()
+	id := o.ID
+	pool.Put(o)
+	return id
+}
+
+// BranchSeparate keeps release and use on disjoint paths; nothing to
+// flag.
+func BranchSeparate(cond bool) int {
+	o := pool.Get()
+	if cond {
+		pool.Put(o)
+		return 0
+	}
+	id := o.ID
+	pool.Put(o)
+	return id
+}
+
+var leaked *pool.Obj
+
+// Leak parks a pooled pointer in a package-level variable, which
+// outlives every handle.
+func Leak() {
+	o := pool.Get()
+	leaked = o // want "pooled pointer stored in package-level leaked"
+	pool.Put(o)
+}
+
+// AllowedPeek documents a deliberate post-release read.
+func AllowedPeek() int {
+	o := pool.Get()
+	pool.Put(o)
+	//simlint:allow poolsafe deliberate post-release read for the directive test
+	return o.ID
+}

@@ -1,0 +1,37 @@
+// Package pool is the provider side of the poolsafe testdata tree: a
+// freelist-pooled object with a function release and a method release.
+package pool
+
+// Obj is a pooled object; handles die at the release call.
+//
+//simlint:pooled
+type Obj struct {
+	ID int
+}
+
+var free []*Obj
+
+// Get returns a recycled or fresh Obj.
+func Get() *Obj {
+	if n := len(free); n > 0 {
+		o := free[n-1]
+		free = free[:n-1]
+		return o
+	}
+	return &Obj{}
+}
+
+// Put recycles o; the caller's handle is dead afterwards.
+//
+//simlint:release
+func Put(o *Obj) {
+	o.ID = 0
+	free = append(free, o)
+}
+
+// Release recycles its receiver, the method-shaped release.
+//
+//simlint:release
+func (o *Obj) Release() {
+	Put(o)
+}

@@ -1,0 +1,400 @@
+// Package flow builds intra-function control-flow graphs over go/ast and
+// runs simple forward "reaching facts" analyses on them. It is the
+// flow-sensitivity layer under the poolsafe analyzer: a fact generated on
+// one path (this pooled handle was released here) must reach every
+// statement that path can fall through to, and must *not* reach
+// statements only live on other paths.
+//
+// The graph is deliberately small: basic blocks hold the ast.Nodes that
+// execute when the block runs (plain statements, plus bare condition
+// expressions and range headers), and Succs carries control transfer.
+// Bodies of nested control statements never appear inside a block — they
+// live in their own blocks — so an analysis walks each block node with
+// Visit, which prunes the one node kind (range headers) that still owns a
+// body. goto is not modelled; a function using it yields Imprecise=true
+// and analyses skip it rather than report on incomplete paths.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Block is one basic block: nodes that execute in order, then a transfer
+// to one of Succs (no successors means the function returns or panics).
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Blocks []*Block
+	// Imprecise is set when the body uses a construct the builder does not
+	// model (goto). Analyses should skip imprecise graphs.
+	Imprecise bool
+}
+
+// Visit walks the parts of a block node that execute at that node,
+// calling f in source order. For a *ast.RangeStmt only the key, value and
+// range operand are visited (its body lives in other blocks); every other
+// node is fully traversed.
+func Visit(n ast.Node, f func(ast.Node) bool) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if r.Key != nil {
+			ast.Inspect(r.Key, f)
+		}
+		if r.Value != nil {
+			ast.Inspect(r.Value, f)
+		}
+		ast.Inspect(r.X, f)
+		return
+	}
+	ast.Inspect(n, f)
+}
+
+// New builds the control-flow graph of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.cur = b.newBlock()
+	b.g.Entry = b.cur
+	b.stmtList(body.List)
+	return b.g
+}
+
+// frame is one enclosing breakable/continuable statement.
+type frame struct {
+	label    string
+	brk      *Block
+	cont     *Block // nil for switch/select
+	isSwitch bool
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	frames []frame
+	// pendingLabel is the label of a LabeledStmt being attached to the
+	// statement that follows it.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// edge records a control transfer from to t.
+func edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// terminate parks the builder on a fresh unreachable block, so statements
+// after an unconditional transfer do not leak into a live block.
+func (b *builder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.newBlock()
+		join := b.newBlock()
+		edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		edge(b.cur, join)
+		if s.Else != nil {
+			els := b.newBlock()
+			edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			edge(b.cur, join)
+		} else {
+			edge(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		exit := b.newBlock()
+		edge(head, body)
+		if s.Cond != nil {
+			edge(head, exit)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.frames = append(b.frames, frame{label: label, brk: exit, cont: cont})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		if post != nil {
+			edge(b.cur, post)
+			b.cur = post
+			b.add(s.Post)
+		}
+		edge(b.cur, head)
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		edge(b.cur, head)
+		head.Nodes = append(head.Nodes, s) // key/value/X; Visit prunes Body
+		body := b.newBlock()
+		exit := b.newBlock()
+		edge(head, body)
+		edge(head, exit)
+		b.frames = append(b.frames, frame{label: label, brk: exit, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		edge(b.cur, head)
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.cases(label, s.Body.List)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.cases(label, s.Body.List)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.cases(label, s.Body.List)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.GOTO:
+			b.g.Imprecise = true
+			b.terminate()
+		case token.BREAK:
+			if f := b.findFrame(s.Label, false); f != nil {
+				edge(b.cur, f.brk)
+			} else {
+				b.g.Imprecise = true
+			}
+			b.terminate()
+		case token.CONTINUE:
+			if f := b.findFrame(s.Label, true); f != nil {
+				edge(b.cur, f.cont)
+			} else {
+				b.g.Imprecise = true
+			}
+			b.terminate()
+		case token.FALLTHROUGH:
+			// Handled by cases(); a stray fallthrough is malformed input.
+			b.g.Imprecise = true
+			b.terminate()
+		}
+
+	default:
+		// Plain statements: declarations, assignments, expressions, sends,
+		// inc/dec, defer, go, empty. defer/go bodies execute elsewhere in
+		// time but their closures' effects are the analysis's concern at
+		// creation, which visiting the node covers conservatively.
+		b.add(s)
+	}
+}
+
+// cases builds the clause blocks of a switch/type-switch/select body.
+// Every clause is entered from the head block (condition evaluation order
+// is irrelevant to a may-analysis); a missing default adds a head→join
+// edge. fallthrough transfers to the next clause's block.
+func (b *builder) cases(label string, clauses []ast.Stmt) {
+	head := b.cur
+	join := b.newBlock()
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		edge(head, blocks[i])
+	}
+	b.frames = append(b.frames, frame{label: label, brk: join, isSwitch: true})
+	for i, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				head.Nodes = append(head.Nodes, e)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			b.cur = blocks[i]
+			if c.Comm != nil {
+				b.add(c.Comm)
+			}
+			body = c.Body
+		}
+		b.cur = blocks[i]
+		fallsTo := -1
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(blocks) {
+				body = body[:n-1]
+				fallsTo = i + 1
+			}
+		}
+		b.stmtList(body)
+		if fallsTo >= 0 {
+			edge(b.cur, blocks[fallsTo])
+		} else {
+			edge(b.cur, join)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault {
+		edge(head, join)
+	}
+	b.cur = join
+}
+
+// findFrame resolves a break/continue target. continue skips switch/select
+// frames; an explicit label must match the frame's label.
+func (b *builder) findFrame(label *ast.Ident, isContinue bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if isContinue && f.isSwitch {
+			continue
+		}
+		if label != nil && f.label != label.Name {
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+// Facts is a set of dataflow facts: object → the position that generated
+// the fact (kept for diagnostics; the first generating position wins on
+// joins).
+type Facts map[types.Object]token.Pos
+
+func (f Facts) clone() Facts {
+	out := make(Facts, len(f))
+	//simlint:allow maporder copying the map; result is order-independent
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// union merges src into f, reporting whether f changed.
+func (f Facts) union(src Facts) bool {
+	changed := false
+	//simlint:allow maporder set union; the merged result is order-independent
+	for k, v := range src {
+		if _, ok := f[k]; !ok {
+			f[k] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Transfer mutates facts in place for one executed block node.
+type Transfer func(n ast.Node, facts Facts)
+
+// ForwardMay runs an iterative forward may-analysis (join = union) over g
+// and returns each block's entry facts. transfer is applied to every node
+// of a block in order to produce its exit facts.
+func ForwardMay(g *Graph, transfer Transfer) map[*Block]Facts {
+	in := make(map[*Block]Facts, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		in[blk] = Facts{}
+	}
+	// Every block is processed at least once (not only those whose entry
+	// facts change): a successor of the entry with still-empty facts must
+	// still push its own gens downstream.
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	queued := make(map[*Block]bool, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		queued[blk] = true
+	}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := in[blk].clone()
+		for _, n := range blk.Nodes {
+			transfer(n, out)
+		}
+		for _, s := range blk.Succs {
+			if in[s].union(out) && !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,249 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// harness typechecks one function body inside a fixed scaffold and
+// exposes a release/use fact model: rel(x) generates a fact for x,
+// assignment to x kills it.
+type harness struct {
+	fset *token.FileSet
+	info *types.Info
+	decl *ast.FuncDecl
+	g    *Graph
+}
+
+func build(t *testing.T, body string) *harness {
+	t.Helper()
+	src := `package p
+
+func get() int { return 0 }
+func rel(x int) {}
+func use(x int) {}
+
+func f(cond bool, n int, m map[int]int) {
+` + body + `
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs: map[*ast.Ident]types.Object{},
+		Uses: map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	var decl *ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			decl = fd
+		}
+	}
+	return &harness{fset: fset, info: info, decl: decl, g: New(decl.Body)}
+}
+
+// transfer implements the rel-gens / assign-kills model.
+func (h *harness) transfer(n ast.Node, facts Facts) {
+	Visit(n, func(c ast.Node) bool {
+		if call, ok := c.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "rel" && len(call.Args) == 1 {
+				if arg, ok := call.Args[0].(*ast.Ident); ok {
+					if obj := h.info.Uses[arg]; obj != nil {
+						facts[obj] = call.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				if obj := h.info.Uses[id]; obj != nil {
+					delete(facts, obj)
+				}
+				if obj := h.info.Defs[id]; obj != nil {
+					delete(facts, obj)
+				}
+			}
+		}
+	}
+}
+
+// factsAtUse replays the fixpoint solution block by block and returns
+// the facts live at the (first) use(...) call, as variable names.
+func (h *harness) factsAtUse(t *testing.T) map[string]bool {
+	t.Helper()
+	in := ForwardMay(h.g, h.transfer)
+	var found map[string]bool
+	for _, blk := range h.g.Blocks {
+		facts := Facts{}
+		//simlint:allow maporder copying the facts map; order-free
+		for k, v := range in[blk] {
+			facts[k] = v
+		}
+		for _, n := range blk.Nodes {
+			atUse := false
+			Visit(n, func(c ast.Node) bool {
+				if call, ok := c.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "use" {
+						atUse = true
+					}
+				}
+				return true
+			})
+			if atUse && found == nil {
+				found = map[string]bool{}
+				//simlint:allow maporder set-to-set copy; order-free
+				for obj := range facts {
+					found[obj.Name()] = true
+				}
+			}
+			h.transfer(n, facts)
+		}
+	}
+	if found == nil {
+		t.Fatalf("no use(...) call in body")
+	}
+	return found
+}
+
+func TestBranchJoinMay(t *testing.T) {
+	h := build(t, `
+	x := get()
+	if cond {
+		rel(x)
+	}
+	use(x)`)
+	if !h.factsAtUse(t)["x"] {
+		t.Errorf("fact from one branch must reach the join (may-analysis)")
+	}
+}
+
+func TestDisjointPathsClean(t *testing.T) {
+	h := build(t, `
+	x := get()
+	if cond {
+		rel(x)
+		return
+	}
+	use(x)`)
+	if h.factsAtUse(t)["x"] {
+		t.Errorf("fact must not survive a path that returns before the join")
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	h := build(t, `
+	x := get()
+	for i := 0; i < n; i++ {
+		use(x)
+		rel(x)
+	}`)
+	if !h.factsAtUse(t)["x"] {
+		t.Errorf("fact from iteration i must reach iteration i+1 through the back edge")
+	}
+}
+
+func TestRangeBackEdge(t *testing.T) {
+	h := build(t, `
+	x := get()
+	for range m {
+		rel(x)
+	}
+	use(x)`)
+	if !h.factsAtUse(t)["x"] {
+		t.Errorf("fact generated in a range body must reach the loop exit")
+	}
+}
+
+func TestAssignKills(t *testing.T) {
+	h := build(t, `
+	x := get()
+	rel(x)
+	x = get()
+	use(x)`)
+	if h.factsAtUse(t)["x"] {
+		t.Errorf("reassignment must kill the fact")
+	}
+}
+
+func TestSwitchCasesJoin(t *testing.T) {
+	h := build(t, `
+	x := get()
+	switch n {
+	case 0:
+		rel(x)
+	case 1:
+	}
+	use(x)`)
+	if !h.factsAtUse(t)["x"] {
+		t.Errorf("fact from one case must reach the statement after the switch")
+	}
+}
+
+func TestBreakCarriesFacts(t *testing.T) {
+	h := build(t, `
+	x := get()
+	for i := 0; i < n; i++ {
+		if cond {
+			rel(x)
+			break
+		}
+	}
+	use(x)`)
+	if !h.factsAtUse(t)["x"] {
+		t.Errorf("break must carry facts to the loop exit")
+	}
+}
+
+func TestGotoIsImprecise(t *testing.T) {
+	h := build(t, `
+	x := get()
+	goto done
+done:
+	use(x)`)
+	if !h.g.Imprecise {
+		t.Errorf("goto must mark the graph imprecise")
+	}
+}
+
+func TestVisitPrunesRangeBody(t *testing.T) {
+	h := build(t, `
+	for k := range m {
+		rel(k)
+	}
+	use(n)`)
+	var r *ast.RangeStmt
+	ast.Inspect(h.decl.Body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			r = rs
+		}
+		return true
+	})
+	var calls []string
+	Visit(r, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				calls = append(calls, id.Name)
+			}
+		}
+		return true
+	})
+	if len(calls) != 0 {
+		t.Errorf("Visit on a range header must not descend into its body; saw calls %s",
+			strings.Join(calls, ","))
+	}
+}

@@ -5,8 +5,12 @@
 // packages, per-analyzer diagnostics, `//simlint:allow` suppression, and
 // an analysistest-style harness (see the linttest subpackage).
 //
-// The four shipped analyzers live in internal/lint/checks; the
-// cmd/simlint multichecker wires them over ./... as verify tier 3.
+// Two pass kinds exist. An Analyzer inspects one compilation unit at a
+// time; a ModuleAnalyzer runs once over every loaded unit, which is what
+// lets the flow-aware checks (hot-path allocation reachability, pooled
+// handle lifetimes) follow calls across package boundaries. The shipped
+// analyzers live in internal/lint/checks; the cmd/simlint multichecker
+// wires them over ./... as verify tier 3.
 package lint
 
 import (
@@ -17,9 +21,10 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// An Analyzer describes one static check.
+// An Analyzer describes one static check over a single compilation unit.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and allow directives.
 	Name string
@@ -28,6 +33,50 @@ type Analyzer struct {
 	// Run inspects one typechecked unit and reports findings via
 	// pass.Report / pass.Reportf.
 	Run func(pass *Pass) error
+}
+
+// A ModuleAnalyzer describes one static check that needs the whole module
+// in scope at once — interprocedural analyses whose call chains cross
+// package boundaries. It runs exactly once per invocation, over every
+// loaded unit.
+type ModuleAnalyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc is a one-paragraph description, shown by `simlint -help`.
+	Doc string
+	// Run inspects all units and reports findings via pass.Report.
+	Run func(pass *ModulePass) error
+}
+
+// A ModulePass carries every loaded unit through one module analyzer.
+type ModulePass struct {
+	Analyzer *ModuleAnalyzer
+	Fset     *token.FileSet
+	// Units is every loaded compilation unit, in load order. All units
+	// share Fset, so positions from any unit compose.
+	Units []*Unit
+	// Shared is a scratch cache that lives for one RunModuleAnalyzers
+	// call and is visible to every module analyzer in it — expensive
+	// derived structures (the whole-module call graph) are built once by
+	// the first analyzer that needs them and reused by the rest.
+	Shared map[string]any
+
+	diags *[]Diagnostic
+}
+
+// Report records a finding under the given category.
+func (p *ModulePass) Report(pos token.Pos, category, message string) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Category: category,
+		Message:  message,
+	})
+}
+
+// Reportf is Report with formatting.
+func (p *ModulePass) Reportf(pos token.Pos, category, format string, args ...any) {
+	p.Report(pos, category, fmt.Sprintf(format, args...))
 }
 
 // A Diagnostic is one finding, anchored to a source position.
@@ -90,6 +139,38 @@ func (p *Pass) Reportf(pos token.Pos, category, format string, args ...any) {
 // unusedallow), so stale suppressions cannot accumulate as the code
 // under them changes.
 const AllowDirective = "simlint:allow"
+
+// Annotation directives recognized on declarations. Unlike AllowDirective
+// they are contracts, not suppressions: they opt a declaration into an
+// analyzer's rules.
+//
+//	//simlint:hotpath  (func) — the function and everything it reaches
+//	                   through the call graph must not allocate (hotalloc)
+//	//simlint:pooled   (type) — values of this type recycle through a
+//	                   freelist; the handle contract applies (poolsafe)
+//	//simlint:release  (func) — calling this returns its pooled argument
+//	                   (or receiver) to the freelist; the handle dies here
+const (
+	HotPathDirective = "simlint:hotpath"
+	PooledDirective  = "simlint:pooled"
+	ReleaseDirective = "simlint:release"
+)
+
+// HasDirective reports whether the comment group carries the given
+// directive (comparing the full word: "simlint:hotpath" does not match
+// "simlint:hotpathx").
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//"+directive)
+		if ok && (text == "" || text[0] == ' ' || text[0] == '\t') {
+			return true
+		}
+	}
+	return false
+}
 
 // allowKey identifies one suppressed (file line, check name) pair.
 type allowKey struct {
@@ -177,9 +258,12 @@ func (a *allowSet) unused() []Diagnostic {
 	return diags
 }
 
-// RunAnalyzers applies each analyzer to the unit and returns the surviving
-// (non-suppressed) diagnostics in position order.
-func RunAnalyzers(unit *Unit, analyzers ...*Analyzer) ([]Diagnostic, error) {
+// RunUnitAnalyzers applies each per-unit analyzer to the unit and returns
+// the raw diagnostics, before any //simlint:allow suppression. Drivers
+// that also run module analyzers collect raw diagnostics from every
+// source first and apply Suppress once, so a directive's usage (and
+// staleness) is judged against all findings that could hit its line.
+func RunUnitAnalyzers(unit *Unit, analyzers ...*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -195,16 +279,58 @@ func RunAnalyzers(unit *Unit, analyzers ...*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, unit.ImportPath, err)
 		}
 	}
-	allows := collectAllows(unit.Fset, unit.Files)
-	kept := diags[:0]
+	return diags, nil
+}
+
+// RunModuleAnalyzers applies each module analyzer once over all units and
+// returns the raw diagnostics, before suppression. The units must share
+// one FileSet (which the Loader guarantees).
+func RunModuleAnalyzers(units []*Unit, analyzers ...*ModuleAnalyzer) ([]Diagnostic, error) {
+	if len(units) == 0 {
+		return nil, nil
+	}
+	var diags []Diagnostic
+	shared := map[string]any{}
+	for _, a := range analyzers {
+		pass := &ModulePass{
+			Analyzer: a,
+			Fset:     units[0].Fset,
+			Units:    units,
+			Shared:   shared,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	return diags, nil
+}
+
+// Suppress filters diags through every //simlint:allow directive found in
+// the units' files, appends a stale-directive (unusedallow) diagnostic for
+// each directive that suppressed nothing, and returns the survivors in
+// position order. It must see all diagnostics of a run at once: a
+// directive used only by a module analyzer would otherwise be reported
+// stale by the per-unit pass that cannot see the module finding.
+func Suppress(units []*Unit, diags []Diagnostic) []Diagnostic {
+	if len(units) == 0 {
+		return diags
+	}
+	fset := units[0].Fset
+	var files []*ast.File
+	for _, u := range units {
+		files = append(files, u.Files...)
+	}
+	allows := collectAllows(fset, files)
+	var kept []Diagnostic
 	for _, d := range diags {
-		if !allows.suppressed(unit.Fset, d) {
+		if !allows.suppressed(fset, d) {
 			kept = append(kept, d)
 		}
 	}
 	kept = append(kept, allows.unused()...)
 	sort.SliceStable(kept, func(i, j int) bool {
-		pi, pj := unit.Fset.Position(kept[i].Pos), unit.Fset.Position(kept[j].Pos)
+		pi, pj := fset.Position(kept[i].Pos), fset.Position(kept[j].Pos)
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
@@ -213,18 +339,37 @@ func RunAnalyzers(unit *Unit, analyzers ...*Analyzer) ([]Diagnostic, error) {
 		}
 		return pi.Column < pj.Column
 	})
-	return kept, nil
+	return kept
 }
 
-// funcNameRE helps analyzers that exempt helper functions by name.
+// RunAnalyzers applies each analyzer to the unit and returns the surviving
+// (non-suppressed) diagnostics in position order. It is the single-unit
+// convenience wrapper over RunUnitAnalyzers + Suppress.
+func RunAnalyzers(unit *Unit, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	diags, err := RunUnitAnalyzers(unit, analyzers...)
+	if err != nil {
+		return nil, err
+	}
+	return Suppress([]*Unit{unit}, diags), nil
+}
+
+// funcNameRE caches compiled helper-exemption patterns. The mutex matters:
+// linttest runs analyzers from parallel tests, and an unguarded map write
+// here is exactly the shared-mutable-global hazard the globalstate
+// analyzer exists to flag.
+var funcNameREMu sync.Mutex
+
 var funcNameRE = map[string]*regexp.Regexp{}
 
 // MatchesFuncName reports whether name matches the cached pattern.
 func MatchesFuncName(pattern, name string) bool {
+	funcNameREMu.Lock()
 	re, ok := funcNameRE[pattern]
 	if !ok {
 		re = regexp.MustCompile(pattern)
+		//simlint:allow globalstate idempotent regexp cache, guarded by funcNameREMu
 		funcNameRE[pattern] = re
 	}
+	funcNameREMu.Unlock()
 	return re.MatchString(name)
 }

@@ -1,0 +1,64 @@
+package lint_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestMatchesFuncNameParallel is the regression test for the unguarded
+// funcNameRE cache map: linttest drives analyzers from parallel tests,
+// and concurrent first-misses on the same pattern map used to be a data
+// race (caught by this test under -race, tier 2). The globalstate
+// analyzer now flags exactly this shape of package-level mutable state.
+func TestMatchesFuncNameParallel(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				pattern := fmt.Sprintf("^helper%d", (g+j)%13)
+				lint.MatchesFuncName(pattern, "helperName")
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func directiveGroup(lines ...string) *ast.CommentGroup {
+	cg := &ast.CommentGroup{}
+	for _, l := range lines {
+		cg.List = append(cg.List, &ast.Comment{Slash: token.Pos(1), Text: l})
+	}
+	return cg
+}
+
+// TestHasDirective pins the full-word rule: a directive must not match a
+// longer directive that shares its prefix, and trailing commentary after
+// whitespace is fine.
+func TestHasDirective(t *testing.T) {
+	cases := []struct {
+		lines []string
+		want  bool
+	}{
+		{[]string{"// Step fires events.", "//simlint:hotpath"}, true},
+		{[]string{"//simlint:hotpath because benchmarks pin it"}, true},
+		{[]string{"//simlint:hotpathx"}, false},
+		{[]string{"// simlint:hotpath"}, false}, // directives take no space after //
+		{[]string{"// plain doc comment"}, false},
+	}
+	for _, c := range cases {
+		got := lint.HasDirective(directiveGroup(c.lines...), lint.HotPathDirective)
+		if got != c.want {
+			t.Errorf("HasDirective(%q) = %v, want %v", c.lines, got, c.want)
+		}
+	}
+	if lint.HasDirective(nil, lint.HotPathDirective) {
+		t.Errorf("HasDirective(nil) must be false")
+	}
+}

@@ -1,7 +1,13 @@
-// Package linttest runs a lint.Analyzer over a testdata package and
-// compares its diagnostics against `// want "regexp"` expectations, in
+// Package linttest runs lint analyzers over testdata packages and
+// compares their diagnostics against `// want "regexp"` expectations, in
 // the style of golang.org/x/tools' analysistest (re-implemented on the
 // standard library; this module vendors nothing).
+//
+// Run checks one per-unit analyzer against one testdata package. RunTree
+// checks any mix of per-unit and module analyzers against a multi-package
+// testdata tree — every package directory under the tree root is loaded
+// into one shared load set, so module analyzers see cross-package call
+// chains exactly as cmd/simlint would.
 //
 // Each want comment anchors to its own source line and may carry several
 // quoted regexps. Every emitted diagnostic must match exactly one unused
@@ -48,17 +54,69 @@ func Run(t *testing.T, a *lint.Analyzer, dir string) {
 		t.Fatalf("linttest: no Go files in %s", dir)
 	}
 
-	var wants []*want
 	var diags []lint.Diagnostic
 	for _, unit := range units {
-		wants = append(wants, collectWants(t, unit)...)
 		ds, err := lint.RunAnalyzers(unit, a)
 		if err != nil {
 			t.Fatalf("linttest: %v", err)
 		}
 		diags = append(diags, ds...)
 	}
+	match(t, units, diags)
+}
 
+// RunTree loads every package directory under root into one shared load
+// set, runs the given per-unit and module analyzers, applies global
+// suppression, and checks the combined diagnostics against the tree's
+// want comments.
+func RunTree(t *testing.T, root string, unitAnalyzers []*lint.Analyzer, moduleAnalyzers []*lint.ModuleAnalyzer) {
+	t.Helper()
+	modRoot, modPath, err := lint.FindModule(".")
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	dirs, err := lint.PackageDirs(root)
+	if err != nil {
+		t.Fatalf("linttest: walk %s: %v", root, err)
+	}
+	loader := lint.NewLoader(modRoot, modPath)
+	var units []*lint.Unit
+	for _, dir := range dirs {
+		us, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("linttest: load %s: %v", dir, err)
+		}
+		units = append(units, us...)
+	}
+	if len(units) == 0 {
+		t.Fatalf("linttest: no Go files under %s", root)
+	}
+
+	var diags []lint.Diagnostic
+	for _, unit := range units {
+		ds, err := lint.RunUnitAnalyzers(unit, unitAnalyzers...)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		diags = append(diags, ds...)
+	}
+	if len(moduleAnalyzers) > 0 {
+		ds, err := lint.RunModuleAnalyzers(units, moduleAnalyzers...)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		diags = append(diags, ds...)
+	}
+	match(t, units, lint.Suppress(units, diags))
+}
+
+// match checks diagnostics against the units' want comments.
+func match(t *testing.T, units []*lint.Unit, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, unit := range units {
+		wants = append(wants, collectWants(t, unit)...)
+	}
 	for _, d := range diags {
 		pos := units[0].Fset.Position(d.Pos)
 		if w := claim(wants, pos.Filename, pos.Line, d.Message); w == nil {

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Unit is one typechecked compilation unit: a package together with its
@@ -40,14 +41,37 @@ type Loader struct {
 	parsed  map[string]*ast.File
 }
 
+// The standard library is typechecked once per process, not once per
+// Loader: every driver that builds several loaders (linttest creates one
+// per Run/RunTree call) would otherwise re-typecheck fmt, time, sort and
+// their transitive deps from source each time, and that work dominated
+// the analyzer test suite's wall time. The shared importer owns its own
+// FileSet; that is safe because diagnostics only ever anchor at module
+// positions, which live in each Loader's Fset — std positions are never
+// resolved. The mutex serializes first-miss typechecking from parallel
+// tests.
+var (
+	stdImporterMu sync.Mutex
+	stdFset       = token.NewFileSet()
+	stdImporter   = importer.ForCompiler(stdFset, "source", nil)
+)
+
+// stdImport is the process-wide memoized standard-library importer.
+type stdImport struct{}
+
+func (stdImport) Import(path string) (*types.Package, error) {
+	stdImporterMu.Lock()
+	defer stdImporterMu.Unlock()
+	return stdImporter.Import(path)
+}
+
 // NewLoader returns a loader for the module rooted at moduleRoot.
 func NewLoader(moduleRoot, modulePath string) *Loader {
-	fset := token.NewFileSet()
 	return &Loader{
 		ModuleRoot: moduleRoot,
 		ModulePath: modulePath,
-		Fset:       fset,
-		std:        importer.ForCompiler(fset, "source", nil),
+		Fset:       token.NewFileSet(),
+		std:        stdImport{},
 		imports:    map[string]*types.Package{},
 		loading:    map[string]bool{},
 		parsed:     map[string]*ast.File{},

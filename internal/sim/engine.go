@@ -89,6 +89,8 @@ const (
 // engine reuses it, so handles must not be kept past the point where the
 // owner knows the event completed — clear them in the callback or after
 // Cancel, as the in-tree callers do.
+//
+//simlint:pooled
 type Event struct {
 	at  Time
 	seq uint64
@@ -167,6 +169,8 @@ func (e *Engine) Pending() int { return len(e.queue) }
 
 // alloc takes an Event from the freelist (or the heap allocator when the
 // freelist is dry) and initializes it as pending at time t.
+//
+//simlint:hotpath
 func (e *Engine) alloc(t Time) *Event {
 	var ev *Event
 	if n := len(e.free); n > 0 {
@@ -174,6 +178,7 @@ func (e *Engine) alloc(t Time) *Event {
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 	} else {
+		//simlint:allow hotalloc pool growth: one-time allocation while the freelist warms up
 		ev = &Event{}
 	}
 	*ev = Event{at: t, seq: e.seq}
@@ -185,10 +190,14 @@ func (e *Engine) alloc(t Time) *Event {
 // The callback fields are dropped immediately so the pool never pins model
 // closures; at/seq/state stay readable through retained handles until the
 // struct is reused.
+//
+//simlint:hotpath
+//simlint:release
 func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
 	ev.afn = nil
 	ev.arg = nil
+	//simlint:allow hotalloc amortized freelist growth; steady state reuses storage
 	e.free = append(e.free, ev)
 }
 
@@ -241,6 +250,7 @@ func (e *Engine) siftDown(i int, ev *Event) {
 
 // push inserts a pending event into the heap.
 func (e *Engine) push(ev *Event) {
+	//simlint:allow hotalloc amortized queue growth; steady state reuses storage
 	e.queue = append(e.queue, ev)
 	e.siftUp(len(e.queue)-1, ev)
 }
@@ -281,8 +291,11 @@ func (e *Engine) remove(i int) {
 // simulated time. A negative delay panics: time travel indicates a model
 // bug and must not be silently clamped. A zero delay is legal and fires
 // after all events already scheduled for the current instant.
+//
+//simlint:hotpath
 func (e *Engine) Schedule(delay Time, fn func()) *Event {
 	if delay < 0 {
+		//simlint:allow hotalloc cold panic path; formatting happens only on a model bug
 		panic(fmt.Sprintf("sim: negative delay %d at t=%d", delay, e.now))
 	}
 	return e.At(e.now+delay, fn)
@@ -290,8 +303,11 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 
 // At arranges for fn to run at absolute simulated time t, which must not be
 // in the past.
+//
+//simlint:hotpath
 func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
+		//simlint:allow hotalloc cold panic path; formatting happens only on a model bug
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
 	ev := e.alloc(t)
@@ -304,8 +320,11 @@ func (e *Engine) At(t Time, fn func()) *Event {
 // package-level function and arg a pooled pointer, so a steady-state
 // schedule-and-fire cycle allocates nothing (the Event itself comes from
 // the freelist, and a pointer in an interface value does not escape).
+//
+//simlint:hotpath
 func (e *Engine) scheduleArg(delay Time, fn func(any), arg any) *Event {
 	if delay < 0 {
+		//simlint:allow hotalloc cold panic path; formatting happens only on a model bug
 		panic(fmt.Sprintf("sim: negative delay %d at t=%d", delay, e.now))
 	}
 	ev := e.alloc(e.now + delay)
@@ -332,10 +351,12 @@ type Timed struct {
 //
 // Batch events return no handles and cannot be cancelled individually; a
 // fan-out that needs cancellation schedules through Schedule/At.
+//
+//simlint:hotpath
 func (e *Engine) ScheduleBatch(items []Timed) {
 	for i := range items {
 		if items[i].Delay < 0 {
-			panic(fmt.Sprintf("sim: negative delay %d in batch item %d at t=%d",
+			panic(fmt.Sprintf("sim: negative delay %d in batch item %d at t=%d", //simlint:allow hotalloc cold panic path; formatting happens only on a model bug
 				items[i].Delay, i, e.now))
 		}
 	}
@@ -353,6 +374,7 @@ func (e *Engine) ScheduleBatch(items []Timed) {
 		ev := e.alloc(e.now + items[i].Delay)
 		ev.fn = items[i].Fn
 		ev.index = int32(len(e.queue))
+		//simlint:allow hotalloc amortized queue growth; steady state reuses storage
 		e.queue = append(e.queue, ev)
 	}
 	for i := (len(e.queue) - 2) >> 2; i >= 0; i-- {
@@ -378,6 +400,8 @@ func (e *Engine) Cancel(ev *Event) {
 
 // Step executes the single earliest pending event and advances the clock to
 // its timestamp. It returns false when the queue is empty.
+//
+//simlint:hotpath
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false

@@ -49,6 +49,8 @@ type Preemptible struct {
 // pendingOp is one queued or in-service operation. Ops are recycled
 // through the freeOps freelist and double as the completion-event
 // argument, so a steady-state Use cycle allocates nothing.
+//
+//simlint:pooled
 type pendingOp struct {
 	p      *Preemptible
 	d      Time
@@ -75,6 +77,7 @@ func (p *Preemptible) Preemptions() uint64 { return p.preemptions }
 // Busy reports whether an operation is executing right now.
 func (p *Preemptible) Busy() bool { return p.busy }
 
+//simlint:hotpath
 func (p *Preemptible) getOp() *pendingOp {
 	if n := len(p.freeOps); n > 0 {
 		op := p.freeOps[n-1]
@@ -82,15 +85,21 @@ func (p *Preemptible) getOp() *pendingOp {
 		p.freeOps = p.freeOps[:n-1]
 		return op
 	}
+	//simlint:allow hotalloc pool growth: one-time allocation while the freelist warms up
 	return &pendingOp{p: p}
 }
 
+//simlint:hotpath
+//simlint:release
 func (p *Preemptible) putOp(op *pendingOp) {
 	op.done = nil
+	//simlint:allow hotalloc amortized freelist growth; steady state reuses storage
 	p.freeOps = append(p.freeOps, op)
 }
 
 // Use runs a preemptible (low-priority) operation of duration d, then done.
+//
+//simlint:hotpath
 func (p *Preemptible) Use(d Time, done func()) {
 	op := p.getOp()
 	op.d, op.done, op.lowPri = d, done, true
@@ -99,6 +108,8 @@ func (p *Preemptible) Use(d Time, done func()) {
 
 // UsePriority runs a high-priority operation of duration d, suspending the
 // current low-priority occupant if necessary, then done.
+//
+//simlint:hotpath
 func (p *Preemptible) UsePriority(d Time, done func()) {
 	op := p.getOp()
 	op.d, op.done, op.lowPri = d, done, false
@@ -111,8 +122,10 @@ func (p *Preemptible) submit(op *pendingOp) {
 	}
 	if p.busy {
 		if op.lowPri {
+			//simlint:allow hotalloc amortized queue growth; steady state reuses storage
 			p.loQueue = append(p.loQueue, op)
 		} else {
+			//simlint:allow hotalloc amortized queue growth; steady state reuses storage
 			p.hiQueue = append(p.hiQueue, op)
 		}
 		return
@@ -169,6 +182,8 @@ func (p *Preemptible) start(d Time, done func(), lowPri bool, overhead Time) {
 
 // finishPreemptible is the completion callback of the in-service
 // operation (package function: scheduling it allocates no closure).
+//
+//simlint:hotpath
 func finishPreemptible(arg any) {
 	op := arg.(*pendingOp)
 	p := op.p

@@ -7,6 +7,8 @@ import "fmt"
 // between uses, so a steady-state Use cycle allocates nothing — the
 // request struct doubles as the argument of the completion event
 // (scheduleArg), replacing the three closures the old path allocated.
+//
+//simlint:pooled
 type useReq struct {
 	r       *Resource
 	d       Time
@@ -96,6 +98,7 @@ func (r *Resource) Utilization() float64 {
 	return float64(total) / (float64(now) * float64(r.capacity))
 }
 
+//simlint:hotpath
 func (r *Resource) getReq() *useReq {
 	if n := len(r.freeReqs); n > 0 {
 		w := r.freeReqs[n-1]
@@ -103,16 +106,21 @@ func (r *Resource) getReq() *useReq {
 		r.freeReqs = r.freeReqs[:n-1]
 		return w
 	}
+	//simlint:allow hotalloc pool growth: one-time allocation while the freelist warms up
 	return &useReq{r: r}
 }
 
+//simlint:hotpath
+//simlint:release
 func (r *Resource) putReq(w *useReq) {
 	w.done = nil
+	//simlint:allow hotalloc amortized freelist growth; steady state reuses storage
 	r.freeReqs = append(r.freeReqs, w)
 }
 
 // enqueue appends a request slot, tracking queue depth.
 func (r *Resource) enqueue(ent qent) {
+	//simlint:allow hotalloc amortized queue growth; steady state reuses storage
 	r.q = append(r.q, ent)
 	if n := len(r.q) - r.head; n > r.peakQueue {
 		r.peakQueue = n
@@ -203,6 +211,8 @@ func (r *Resource) grantUse(w *useReq) {
 // finishUse is the completion callback of a Use-path request (package
 // function, so scheduling it allocates no closure): release the unit,
 // recycle the request, then run the caller's callback.
+//
+//simlint:hotpath
 func finishUse(arg any) {
 	w := arg.(*useReq)
 	r := w.r
@@ -224,10 +234,13 @@ func finishUse(arg any) {
 // The recursive hand-off this replaces grew the goroutine stack linearly
 // with queue depth — a release at the head of a 100k-deep queue built a
 // 100k-frame release→grant→release chain before unwinding.
+//
+//simlint:hotpath
 func (r *Resource) release() {
 	r.account()
 	r.inUse--
 	if r.inUse < 0 {
+		//simlint:allow hotalloc cold panic path; formatting happens only on a model bug
 		panic(fmt.Sprintf("sim: resource %q released below zero", r.name))
 	}
 	if t := r.eng.trace; t != nil {
@@ -261,6 +274,8 @@ func (r *Resource) release() {
 // transfer and link transfer goes through it); the request and its
 // completion event are recycled through freelists, so steady-state Use
 // costs zero heap allocations (pinned by TestDisabledTracerAddsNoAllocations).
+//
+//simlint:hotpath
 func (r *Resource) Use(d Time, done func()) {
 	w := r.getReq()
 	w.d = d
