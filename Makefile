@@ -7,7 +7,13 @@
 # §10); tier 4 runs the physical-
 # invariant sweep (internal/invariant: conservation, roofline sandwich,
 # metamorphic monotonicity over hundreds of configurations) plus a short
-# native-fuzz smoke of every pure-kernel fuzz target; trace-verify
+# native-fuzz smoke of every pure-kernel fuzz target; tier 5 is the
+# crash-consistency harness (DESIGN.md §11): the fault-point enumerator
+# replaying a full config with the power cut at every FTL op boundary,
+# the metamorphic fault-free equivalence check, the seeded 200-config
+# mixed-fault sweep pinned byte-identical across pool widths, and a
+# quick fault-storm experiment whose recovery-time table lands in
+# out/recovery_table.csv (uploaded as a CI artifact); trace-verify
 # re-runs the tracing layer's contract tests by name (byte-identical
 # Chrome files across pool widths, zero disabled-tracer allocations,
 # trace/utilization reconciliation — DESIGN.md §8) so a verify log shows
@@ -16,9 +22,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify vet tier1 tier2 tier3 tier4 fuzz-smoke trace-verify bench bench-gate
+.PHONY: verify vet tier1 tier2 tier3 tier4 tier5 fuzz-smoke trace-verify bench bench-gate
 
-verify: tier1 tier2 tier3 tier4 trace-verify bench-gate
+verify: tier1 tier2 tier3 tier4 tier5 trace-verify bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +42,12 @@ tier3:
 tier4: fuzz-smoke
 	$(GO) test ./internal/invariant/...
 
+tier5:
+	$(GO) test -run 'TestCrashPointEnumeration|TestFaultFreeEquivalence|TestFaultSweepDeterminism' -v ./internal/invariant/
+	$(GO) test -run 'TestBoundaryHookContract|TestRecover|TestBlockRetirement' -v ./internal/ssd/
+	mkdir -p out
+	$(GO) run ./cmd/optimstore -exp F20 -quick -format csv > out/recovery_table.csv
+
 trace-verify:
 	$(GO) test -run 'TestGoldenTraceDeterminism' -v ./internal/experiments/
 	$(GO) test -run 'TestTracedSweepDeterministicAcrossWidths' -v ./cmd/sweep/
@@ -49,6 +61,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzBitsRoundTrip   -fuzztime=$(FUZZTIME) ./internal/fp16/
 	$(GO) test -run='^$$' -fuzz=FuzzRoundProperties -fuzztime=$(FUZZTIME) ./internal/fp16/
 	$(GO) test -run='^$$' -fuzz=FuzzSchemeProperties -fuzztime=$(FUZZTIME) ./internal/ecc/
+	$(GO) test -run='^$$' -fuzz=FuzzRetireTracker    -fuzztime=$(FUZZTIME) ./internal/ecc/
 	$(GO) test -run='^$$' -fuzz=FuzzFTLOps          -fuzztime=$(FUZZTIME) ./internal/ssd/
 	$(GO) test -run='^$$' -fuzz=FuzzEngineOrdering  -fuzztime=$(FUZZTIME) ./internal/sim/
 

@@ -9,6 +9,7 @@
 //	optimstore -exp F4 -format markdown
 //	optimstore -exp all -svg out/  # additionally write figures as SVG
 //	optimstore -exp all -html report.html  # one self-contained HTML report
+//	optimstore -exp F20 -quick -fault seed=1,pl=2000,df=500,ecc=5000,horizon=5 -checkpoint inplace
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/plot"
 	"repro/internal/report"
 	"repro/internal/tracing"
@@ -36,8 +38,21 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation points (1 = sequential)")
 		check    = flag.Bool("check", false, "audit every simulated report against the physical-invariant registry (internal/invariant); violations fail the run")
 		traceTo  = flag.String("trace", "", "run the four systems plus the checkpoint comparison with event tracing and write a Chrome trace_event JSON file here (open in chrome://tracing or ui.perfetto.dev); prints the trace-derived metrics instead of the experiment suite")
+		faultArg = flag.String("fault", "", "arm a fault storm on every simulated point: seed=N,pl=R,df=R,ecc=R,start=MS,horizon=MS (rates per second of sim time; empty = disabled)")
+		ckptArg  = flag.String("checkpoint", "none", "checkpoint policy priced into every report: none, inplace (ODP copyback) or hostpull")
 	)
 	flag.Parse()
+
+	faultSpec, err := fault.ParseSpec(*faultArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optimstore:", err)
+		os.Exit(2)
+	}
+	ckpt, err := fault.ParsePolicy(*ckptArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optimstore:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -54,7 +69,7 @@ func main() {
 	}
 
 	if *traceTo != "" {
-		opts := experiments.Options{Quick: *quick, Parallel: *parallel}
+		opts := experiments.Options{Quick: *quick, Parallel: *parallel, Fault: faultSpec, Checkpoint: ckpt}
 		res, traces, summary, err := experiments.TraceSystems(opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "optimstore:", err)
@@ -87,7 +102,10 @@ func main() {
 			ids[i] = strings.TrimSpace(ids[i])
 		}
 	}
-	opts := experiments.Options{Quick: *quick, Parallel: *parallel, CheckInvariants: *check}
+	opts := experiments.Options{
+		Quick: *quick, Parallel: *parallel, CheckInvariants: *check,
+		Fault: faultSpec, Checkpoint: ckpt,
+	}
 	// Experiments fan across the worker pool; results come back in the
 	// requested order, so the emitted report stream is identical at any
 	// parallelism.

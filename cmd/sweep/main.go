@@ -11,6 +11,7 @@
 //	sweep -dim lanes    -values 1,4,16   -systems optimstore
 //	sweep -dim pciegen  -values 3,4,5    -parallel 8
 //	sweep -dim batch    -values 1,4,16,64
+//	sweep -dim channels -values 4,8 -fault seed=1,pl=2000,df=500,ecc=5000,horizon=5 -checkpoint inplace
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dnn"
+	"repro/internal/fault"
 	"repro/internal/host"
 	"repro/internal/invariant"
 	"repro/internal/runner"
@@ -41,6 +43,8 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines (1 = sequential)")
 		check    = flag.Bool("check", false, "audit every point against the physical-invariant registry (internal/invariant); violations fail the sweep")
 		traceTo  = flag.String("trace", "", "record an event trace per sweep point and write one combined Chrome trace_event JSON file here (one process lane per point; open in chrome://tracing or ui.perfetto.dev)")
+		faultArg = flag.String("fault", "", "arm a fault storm on every sweep point: seed=N,pl=R,df=R,ecc=R,start=MS,horizon=MS (rates per second of sim time; empty = disabled)")
+		ckptArg  = flag.String("checkpoint", "none", "checkpoint policy priced into every point: none, inplace (ODP copyback) or hostpull")
 	)
 	flag.Parse()
 
@@ -52,15 +56,25 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	faultSpec, err := fault.ParseSpec(*faultArg)
+	if err != nil {
+		fail(err)
+	}
+	ckpt, err := fault.ParsePolicy(*ckptArg)
+	if err != nil {
+		fail(err)
+	}
 	spec := sweepSpec{
-		Dim:      canonicalDim(*dim, os.Stderr),
-		Values:   vals,
-		Model:    m,
-		Systems:  splitList(*systems),
-		Units:    *units,
-		Parallel: *parallel,
-		Check:    *check,
-		Trace:    *traceTo != "",
+		Dim:        canonicalDim(*dim, os.Stderr),
+		Values:     vals,
+		Model:      m,
+		Systems:    splitList(*systems),
+		Units:      *units,
+		Parallel:   *parallel,
+		Check:      *check,
+		Trace:      *traceTo != "",
+		Fault:      faultSpec,
+		Checkpoint: ckpt,
 	}
 
 	fmt.Print(sweepHeader())
@@ -105,6 +119,12 @@ type sweepSpec struct {
 	// out of the pool in grid order, so a combined Chrome file is
 	// byte-identical at every Parallel width.
 	Trace bool
+	// Fault arms the seed-driven fault storm on every point; Checkpoint
+	// selects the policy priced into the ckpt_s/recovery_s columns. Each
+	// point owns its schedule, so faulted sweeps stay byte-identical at
+	// every Parallel width.
+	Fault      fault.Spec
+	Checkpoint fault.Policy
 }
 
 // point is one (value, system) cell of the sweep grid.
@@ -135,7 +155,7 @@ func (r sweepRow) TraceEventCount() int64 {
 // points a system cannot run at all (metrics are NaN there) so downstream
 // plots keep aligned x-axes instead of silently losing rows.
 func sweepHeader() string {
-	return "dim,value,system,feasible,opt_step_s,step_s,tokens_per_s,pcie_gb,bus_gb,nand_prog_gb,energy_j\n"
+	return "dim,value,system,feasible,opt_step_s,step_s,tokens_per_s,pcie_gb,bus_gb,nand_prog_gb,energy_j,faults,ckpt_s,recovery_s\n"
 }
 
 // stream runs every sweep point across the worker pool, emitting rows
@@ -173,6 +193,8 @@ func (s sweepSpec) stream(emit func(sweepRow)) (runner.Summary, error) {
 func (s sweepSpec) runPoint(p point) (sweepRow, error) {
 	cfg := core.DefaultConfig(s.Model)
 	cfg.MaxSimUnits = s.Units
+	cfg.Fault = s.Fault
+	cfg.Checkpoint = s.Checkpoint
 	if err := apply(&cfg, s.Dim, p.value); err != nil {
 		return sweepRow{}, err
 	}
@@ -197,17 +219,19 @@ func (s sweepSpec) runPoint(p point) (sweepRow, error) {
 	}
 	if !r.Feasible {
 		return sweepRow{
-			csv: fmt.Sprintf("%s,%d,%s,false,NaN,NaN,NaN,NaN,NaN,NaN,NaN\n",
+			csv: fmt.Sprintf("%s,%d,%s,false,NaN,NaN,NaN,NaN,NaN,NaN,NaN,NaN,NaN,NaN\n",
 				s.Dim, p.value, r.System),
 			events: r.EventCount(),
 			trace:  tr,
 		}, nil
 	}
+	faults := r.PowerLossFaults + r.DieFailFaults + r.ECCFaults
 	return sweepRow{
-		csv: fmt.Sprintf("%s,%d,%s,true,%.6f,%.6f,%.2f,%.3f,%.3f,%.3f,%.3f\n",
+		csv: fmt.Sprintf("%s,%d,%s,true,%.6f,%.6f,%.2f,%.3f,%.3f,%.3f,%.3f,%d,%.6f,%.6f\n",
 			s.Dim, p.value, r.System, r.OptStepTime.Seconds(), r.StepTime.Seconds(),
 			r.TokensPerSec, units.Bytes(r.PCIeBytes).GBf(), units.Bytes(r.BusBytes).GBf(),
-			units.Bytes(r.NANDProgramBytes).GBf(), r.Energy.Total()),
+			units.Bytes(r.NANDProgramBytes).GBf(), r.Energy.Total(),
+			faults, r.CheckpointTime.Seconds(), r.RecoveryTime.Seconds()),
 		events: r.EventCount(),
 		trace:  tr,
 	}, nil

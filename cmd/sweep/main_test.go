@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dnn"
+	"repro/internal/fault"
 	"repro/internal/tracing"
 )
 
@@ -155,5 +156,47 @@ func TestHeaderHasFeasibleColumn(t *testing.T) {
 	h := sweepHeader()
 	if !strings.HasPrefix(h, "dim,value,system,feasible,") {
 		t.Fatalf("header = %q", h)
+	}
+	if !strings.HasSuffix(strings.TrimSuffix(h, "\n"), ",faults,ckpt_s,recovery_s") {
+		t.Fatalf("header missing fault columns: %q", h)
+	}
+	if cols := strings.Count(h, ","); cols != strings.Count(
+		"dim,2,channels,true,0,0,0,0,0,0,0,0,0,0", ",") {
+		t.Fatalf("header has %d commas", cols)
+	}
+}
+
+// TestFaultedSweepDeterministic pins golden determinism for faulted sweep
+// CSV: a mixed fault storm with a checkpoint policy emits byte-identical
+// rows at every pool width, the fault columns are populated, and every
+// row has exactly the header's column count.
+func TestFaultedSweepDeterministic(t *testing.T) {
+	faulted := func(parallel int) sweepSpec {
+		spec := testSpec(t, parallel)
+		spec.Fault = fault.Spec{
+			Seed: 11, PowerLossPerSec: 2_000, DieFailPerSec: 1_000, ECCPerSec: 4_000,
+			HorizonMs: 5,
+		}
+		spec.Checkpoint = fault.CheckpointInPlace
+		return spec
+	}
+	seq := collect(t, faulted(1))
+	par := collect(t, faulted(8))
+	if seq != par {
+		t.Fatalf("faulted sweep differs across widths:\n--- seq ---\n%s--- par ---\n%s", seq, par)
+	}
+	wantCols := strings.Count(sweepHeader(), ",")
+	var fired bool
+	for _, line := range strings.Split(strings.TrimSuffix(seq, "\n"), "\n") {
+		if got := strings.Count(line, ","); got != wantCols {
+			t.Fatalf("row has %d commas, header has %d: %q", got, wantCols, line)
+		}
+		f := strings.Split(line, ",")
+		if f[len(f)-3] != "0" {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("no sweep point fired any faults")
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
-	"repro/internal/units"
 )
 
 // CheckpointReport compares snapshotting the optimizer state for fault
@@ -41,27 +40,17 @@ func Checkpoint(cfg Config) (*CheckpointReport, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	spec := cfg.Spec()
-	state := cfg.Model.Params * int64(spec.ResidentBytes())
-	r := &CheckpointReport{Model: cfg.Model.Name, StateBytes: state}
-
 	// External stream: reads overlap the PCIe transfer; PCIe is the
 	// narrowest stage (internal read 32 GB/s > buses 9.6 GB/s > PCIe).
-	// Bandwidth units are decimal end to end — MBps.GBps() divides by
-	// 1000, never 1024; binary units appear only in capacity math
-	// (Geometry().TotalBytes() below).
-	extGBps := cfg.Link.EffectiveGBps()
-	if busGBps := cfg.SSD.ChannelMBps().GBps(); busGBps < extGBps {
-		extGBps = busGBps
-	}
-	r.HostStreamTime = extGBps.TransferTimeF(float64(state)) // bytes/GBps = ns
-
 	// Internal copy: plane-local copyback — each page pays tR + tPROG on
-	// its plane, all planes in parallel.
-	n := cfg.SSD.Nand
-	perPlane := units.RateBps(units.Bytes(n.PageSize), n.ReadLatency+n.ProgramLatency)
-	agg := perPlane.Scale(float64(cfg.SSD.Geometry().Planes()))
-	r.InStorageCopyTime = agg.TransferTimeF(float64(state))
+	// its plane, all planes in parallel. Bandwidth units are decimal end
+	// to end; binary units appear only in capacity math
+	// (Geometry().TotalBytes() below). Both closed forms live in
+	// checkpointTimes, shared with the fault accounting.
+	hostStream, inStorage, state := checkpointTimes(cfg)
+	r := &CheckpointReport{Model: cfg.Model.Name, StateBytes: state}
+	r.HostStreamTime = hostStream
+	r.InStorageCopyTime = inStorage
 
 	if r.InStorageCopyTime > 0 {
 		r.Speedup = float64(r.HostStreamTime) / float64(r.InStorageCopyTime)
@@ -86,7 +75,7 @@ func Checkpoint(cfg Config) (*CheckpointReport, error) {
 // the configured topology with the physical 1024 blocks per plane.
 func fullGeometryBytes(cfg Config) int64 {
 	n := cfg.SSD.Nand
-	n.BlocksPerPlane = 1024
+	n.BlocksPerPlane = physBlocksPerPlane
 	geo := cfg.SSD
 	geo.Nand = n
 	return geo.Geometry().TotalBytes()

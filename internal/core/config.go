@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/dnn"
+	"repro/internal/fault"
 	"repro/internal/host"
 	"repro/internal/layout"
 	"repro/internal/odp"
@@ -74,6 +75,18 @@ type Config struct {
 	// emit synthetic spans directly. Nil disables tracing entirely; the
 	// hot paths then cost a single branch (see internal/tracing).
 	Trace sim.Tracer
+
+	// Fault is the seed-driven fault-injection storm applied to the run
+	// (internal/fault): power loss, die failure, and ECC exhaustion as
+	// first-class simulation events. The zero value disables injection
+	// entirely and costs nothing.
+	Fault fault.Spec
+
+	// Checkpoint selects the optimizer-state checkpoint policy priced in
+	// the report's fault accounting (one checkpoint per step, restores per
+	// terminal fault). CheckpointNone recovers by re-streaming from the
+	// host's master copy.
+	Checkpoint fault.Policy
 
 	// LayerwiseOverlap switches the end-to-end model from the scalar
 	// OverlapFraction formula to a simulated pipeline: gradient chunks
@@ -138,6 +151,9 @@ func (c Config) Validate() error {
 	}
 	if c.OverlapFraction < 0 || c.OverlapFraction > 1 {
 		return fmt.Errorf("core: OverlapFraction %v", c.OverlapFraction)
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
 	}
 	// The on-die unit must stage every resident page of a unit plus the
 	// incoming gradient page simultaneously; a smaller buffer cannot run

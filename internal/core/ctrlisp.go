@@ -55,6 +55,7 @@ func (s *CtrlISP) Run() (*Report, error) {
 	for lpa := int64(0); lpa < lay.LogicalPages(); lpa++ {
 		dev.Preload(lpa)
 	}
+	inj := armFaults(eng, dev, cfg)
 
 	elems := cfg.ElemsPerPage()
 	residentB := cfg.ResidentBytesPerUnit()
@@ -75,6 +76,7 @@ func (s *CtrlISP) Run() (*Report, error) {
 	finished := false
 	outbound := newOutBatcher(cfg.TransferChunkBytes, link.FromDevice, func() {
 		dev.Drain(func() {
+			disarmFaults(inj)
 			endTime = eng.Now()
 			finished = true
 		})
@@ -180,5 +182,6 @@ func (s *CtrlISP) Run() (*Report, error) {
 		CPUOps:           float64(totalUnits) * float64(elems) * float64(kernel),
 	})
 	cfg.endToEnd(r)
+	accountFaults(cfg, r, inj)
 	return r, nil
 }

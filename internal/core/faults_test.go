@@ -1,0 +1,139 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/fault"
+)
+
+// stormSpec is a fault storm dense enough that every kind fires inside a
+// 256-unit simulation window (sim windows are sub-millisecond to a few
+// milliseconds; rates are per second of simulated time).
+func stormSpec() fault.Spec {
+	return fault.Spec{
+		Seed:            3,
+		PowerLossPerSec: 50_000,
+		DieFailPerSec:   20_000,
+		ECCPerSec:       100_000,
+		HorizonMs:       0.5,
+	}
+}
+
+func TestFaultStormAccounting(t *testing.T) {
+	for _, sys := range []string{"optimstore", "hostoffload", "ctrlisp"} {
+		cfg := testConfig(dnn.GPT13B())
+		cfg.Fault = stormSpec()
+		cfg.Checkpoint = fault.CheckpointInPlace
+		r := mustRun(t, sys, cfg)
+		if r.PowerLossFaults == 0 || r.DieFailFaults == 0 || r.ECCFaults == 0 {
+			t.Fatalf("%s: storm fired pl=%d df=%d ecc=%d; want all kinds",
+				sys, r.PowerLossFaults, r.DieFailFaults, r.ECCFaults)
+		}
+		if r.CheckpointPolicy != "inplace" {
+			t.Fatalf("%s: policy %q", sys, r.CheckpointPolicy)
+		}
+		if r.CheckpointTime <= 0 || r.CheckpointProgramBytes <= 0 {
+			t.Fatalf("%s: in-place checkpoint priced at %v / %d B", sys, r.CheckpointTime, r.CheckpointProgramBytes)
+		}
+		if r.RecoveryTime <= 0 || r.RecoveryProgramBytes <= 0 {
+			t.Fatalf("%s: terminal faults fired but recovery priced at %v / %d B",
+				sys, r.RecoveryTime, r.RecoveryProgramBytes)
+		}
+		if r.EffectiveStepTime() <= r.StepTime {
+			t.Fatalf("%s: effective step %v not above step %v", sys, r.EffectiveStepTime(), r.StepTime)
+		}
+		// Identical seed and config reproduce the identical faulted report.
+		if again := mustRun(t, sys, cfg); !reflect.DeepEqual(r, again) {
+			t.Fatalf("%s: faulted run not deterministic:\n%+v\n%+v", sys, r, again)
+		}
+	}
+}
+
+// TestLateFaultsDoNotPerturb is the core-level metamorphic check: a run
+// whose entire fault window lies beyond completion produces a report
+// deep-equal to the fault-free run's.
+func TestLateFaultsDoNotPerturb(t *testing.T) {
+	for _, sys := range []string{"optimstore", "hostoffload", "ctrlisp"} {
+		base := testConfig(dnn.GPT13B())
+		faulted := base
+		// Simulated windows are milliseconds; 10 s is beyond any of them.
+		faulted.Fault = fault.Spec{
+			Seed: 5, PowerLossPerSec: 1000, DieFailPerSec: 1000, ECCPerSec: 1000,
+			StartMs: 10_000, HorizonMs: 10_100,
+		}
+		r0 := mustRun(t, sys, base)
+		r1 := mustRun(t, sys, faulted)
+		if !reflect.DeepEqual(r0, r1) {
+			t.Fatalf("%s: late faults perturbed the run:\n%+v\n%+v", sys, r0, r1)
+		}
+	}
+}
+
+// TestCheckpointPolicyComparison pins the policy trade the experiment
+// rows report: the checkpoint policy is pure accounting, so the same seed
+// fires the same faults under every policy; in-place checkpoints are
+// cheaper per step but pay NAND programs, host-pull writes nothing
+// device-side.
+func TestCheckpointPolicyComparison(t *testing.T) {
+	run := func(p fault.Policy) *Report {
+		cfg := testConfig(dnn.GPT13B())
+		cfg.Fault = stormSpec()
+		cfg.Checkpoint = p
+		return mustRun(t, "optimstore", cfg)
+	}
+	none := run(fault.CheckpointNone)
+	inplace := run(fault.CheckpointInPlace)
+	hostpull := run(fault.CheckpointHostPull)
+
+	for _, r := range []*Report{inplace, hostpull} {
+		if r.PowerLossFaults != none.PowerLossFaults ||
+			r.DieFailFaults != none.DieFailFaults ||
+			r.ECCFaults != none.ECCFaults {
+			t.Fatalf("policy changed the firing set: %s fired pl=%d df=%d ecc=%d, none fired pl=%d df=%d ecc=%d",
+				r.CheckpointPolicy, r.PowerLossFaults, r.DieFailFaults, r.ECCFaults,
+				none.PowerLossFaults, none.DieFailFaults, none.ECCFaults)
+		}
+		if r.SimTime != none.SimTime {
+			t.Fatalf("policy %s perturbed the simulation: %v vs %v", r.CheckpointPolicy, r.SimTime, none.SimTime)
+		}
+	}
+	if none.CheckpointTime != 0 || none.CheckpointProgramBytes != 0 {
+		t.Fatalf("no-checkpoint policy priced a checkpoint: %v / %d B", none.CheckpointTime, none.CheckpointProgramBytes)
+	}
+	if inplace.CheckpointTime >= hostpull.CheckpointTime {
+		t.Fatalf("in-place checkpoint %v not cheaper than host-pull %v", inplace.CheckpointTime, hostpull.CheckpointTime)
+	}
+	if inplace.CheckpointProgramBytes == 0 || hostpull.CheckpointProgramBytes != 0 {
+		t.Fatalf("WAF cost: inplace %d B, hostpull %d B", inplace.CheckpointProgramBytes, hostpull.CheckpointProgramBytes)
+	}
+	// Power-loss recovery: in-place restores die-internally and wins.
+	if inplace.RecoveryTime >= none.RecoveryTime {
+		t.Fatalf("in-place recovery %v not cheaper than checkpoint-free %v", inplace.RecoveryTime, none.RecoveryTime)
+	}
+}
+
+// TestGPUResidentFaultAccounting checks the analytic reference prices a
+// power-loss storm (PCIe re-stream plus redone work) without an SSD.
+func TestGPUResidentFaultAccounting(t *testing.T) {
+	cfg := testConfig(dnn.BERTLarge())
+	cfg.Fault = fault.Spec{Seed: 2, PowerLossPerSec: 100_000, HorizonMs: 50}
+	cfg.Checkpoint = fault.CheckpointHostPull
+	r := mustRun(t, "gpuresident", cfg)
+	if !r.Feasible {
+		t.Fatal("BERT-Large should fit GPU memory")
+	}
+	if r.PowerLossFaults == 0 {
+		t.Fatalf("no power-loss events inside the %v step", r.OptStepTime)
+	}
+	if r.DieFailFaults != 0 || r.ECCFaults != 0 {
+		t.Fatalf("SSD fault kinds counted without an SSD: df=%d ecc=%d", r.DieFailFaults, r.ECCFaults)
+	}
+	if r.RecoveryTime <= 0 || r.CheckpointTime <= 0 {
+		t.Fatalf("storm priced at recovery=%v checkpoint=%v", r.RecoveryTime, r.CheckpointTime)
+	}
+	if r.RecoveryProgramBytes != 0 {
+		t.Fatalf("analytic reference programmed %d NAND bytes", r.RecoveryProgramBytes)
+	}
+}

@@ -59,6 +59,7 @@ func (s *GPUResident) Run() (*Report, error) {
 	if needBytes > haveBytes {
 		r.Feasible = false
 		r.Notes = fmt.Sprintf("needs %.1f GB, GPU has %.0f GB", needBytes/units.BytesPerGB, cfg.GPU.MemoryGB)
+		r.CheckpointPolicy = cfg.Checkpoint.String()
 		return r, nil
 	}
 	r.Feasible = true
@@ -89,5 +90,6 @@ func (s *GPUResident) Run() (*Report, error) {
 	if r.OptStepTime <= 0 {
 		r.OptStepTime = sim.Time(1)
 	}
+	accountFaultsAnalytic(cfg, r, s.TrainingBytesPerParam()*params)
 	return r, nil
 }

@@ -57,6 +57,7 @@ func (s *HostOffload) Run() (*Report, error) {
 	for lpa := int64(0); lpa < lay.LogicalPages(); lpa++ {
 		dev.Preload(lpa)
 	}
+	inj := armFaults(eng, dev, cfg)
 
 	elems := cfg.ElemsPerPage()
 	residentB := cfg.ResidentBytesPerUnit()
@@ -94,6 +95,7 @@ func (s *HostOffload) Run() (*Report, error) {
 		completed++
 		if completed == simUnits {
 			dev.Drain(func() {
+				disarmFaults(inj)
 				endTime = eng.Now()
 				finished = true
 			})
@@ -220,5 +222,6 @@ func (s *HostOffload) Run() (*Report, error) {
 		GPUOps:           float64(totalUnits) * float64(elems) * float64(kernel),
 	})
 	cfg.endToEnd(r)
+	accountFaults(cfg, r, inj)
 	return r, nil
 }

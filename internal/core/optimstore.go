@@ -56,6 +56,7 @@ func (s *OptimStore) Run() (*Report, error) {
 	for lpa := int64(0); lpa < lay.LogicalPages(); lpa++ {
 		dev.Preload(lpa)
 	}
+	inj := armFaults(eng, dev, cfg)
 
 	// One compute unit per die.
 	units := make([][]*odp.Unit, cfg.SSD.Channels)
@@ -87,6 +88,7 @@ func (s *OptimStore) Run() (*Report, error) {
 		link.FromDevice,
 		func() {
 			dev.Drain(func() {
+				disarmFaults(inj)
 				endTime = eng.Now()
 				finished = true
 			})
@@ -211,7 +213,12 @@ func (s *OptimStore) Run() (*Report, error) {
 			eng.Now(), completed, simUnits)
 	}
 
-	return s.report(cfg, dev, units, link, endTime, eng.Fired())
+	r, err := s.report(cfg, dev, units, link, endTime, eng.Fired())
+	if err != nil {
+		return nil, err
+	}
+	accountFaults(cfg, r, inj)
+	return r, nil
 }
 
 func (s *OptimStore) report(cfg Config, dev *ssd.Device, units [][]*odp.Unit, link *host.Link, endTime sim.Time, fired uint64) (*Report, error) {

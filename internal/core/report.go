@@ -67,6 +67,30 @@ type Report struct {
 	StepTime     sim.Time
 	TokensPerSec float64
 
+	// Fault-injection and checkpoint/restore accounting (internal/fault).
+	// CheckpointPolicy is always set ("none" when checkpointing is off) so
+	// faulted and fault-free reports stay structurally comparable. The
+	// fault counts are the events that actually fired inside the simulated
+	// window (ECC exhaustion's cost lands organically in SimTime; the
+	// terminal kinds are priced below).
+	CheckpointPolicy string
+	PowerLossFaults  int
+	DieFailFaults    int
+	ECCFaults        int
+
+	// CheckpointTime is the cost of taking one checkpoint per step under
+	// the policy; CheckpointProgramBytes its NAND-program (WAF) cost —
+	// nonzero only for the in-place policy, which snapshots device-side.
+	CheckpointTime         sim.Time
+	CheckpointProgramBytes int64
+
+	// RecoveryTime totals, over every terminal fault fired in the window,
+	// the restore cost plus the step work redone from the crash position.
+	// RecoveryProgramBytes is the NAND-program traffic recovery issues
+	// rolling resident state back to the last durable checkpoint.
+	RecoveryTime         sim.Time
+	RecoveryProgramBytes int64
+
 	// Violations holds human-readable invariant-violation descriptions when
 	// the run was executed with invariant checking enabled (see
 	// internal/invariant and experiments.Options.CheckInvariants). Empty on
@@ -82,6 +106,13 @@ func (r *Report) InvariantViolations() []string { return r.Violations }
 // EventCount reports the simulated-event cost of producing this report,
 // satisfying the runner's EventCounter interface for run summaries.
 func (r *Report) EventCount() int64 { return int64(r.SimEvents) }
+
+// EffectiveStepTime is the training-step latency with fault tolerance
+// priced in: the step itself, one checkpoint under the policy, and any
+// recovery incurred in the window.
+func (r *Report) EffectiveStepTime() sim.Time {
+	return r.StepTime + r.CheckpointTime + r.RecoveryTime
+}
 
 // EnergyPerParamPJ returns the per-parameter step energy in picojoules.
 func (r *Report) EnergyPerParamPJ(params int64) float64 {
@@ -124,6 +155,29 @@ func ReportTable(title string, reports []*Report) *stats.Table {
 			units.Bytes(r.PCIeBytes).GBf(), units.Bytes(r.BusBytes).GBf(),
 			units.Bytes(r.NANDProgramBytes).GBf(), r.Energy.Total(),
 			r.EnergyPerParamPJ(r.Params))
+	}
+	return t
+}
+
+// FaultTable renders the fault and checkpoint/restore accounting of
+// several reports: fired fault counts, per-step checkpoint cost, total
+// recovery cost, the effective step with both priced in, and the NAND
+// program traffic (WAF cost) each policy incurs.
+func FaultTable(title string, reports []*Report) *stats.Table {
+	t := stats.NewTable(title,
+		"system", "ckpt-policy", "pl", "df", "ecc",
+		"ckpt-ms", "recovery-ms", "eff-step-ms", "ckpt-prog-GB", "rec-prog-GB")
+	for _, r := range reports {
+		if !r.Feasible {
+			t.AddRow(r.System, r.CheckpointPolicy, "-", "-", "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		t.AddRow(r.System, r.CheckpointPolicy,
+			r.PowerLossFaults, r.DieFailFaults, r.ECCFaults,
+			r.CheckpointTime.Millis(), r.RecoveryTime.Millis(),
+			r.EffectiveStepTime().Millis(),
+			units.Bytes(r.CheckpointProgramBytes).GBf(),
+			units.Bytes(r.RecoveryProgramBytes).GBf())
 	}
 	return t
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dnn"
+	"repro/internal/fault"
 	"repro/internal/invariant"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -29,6 +30,13 @@ type Options struct {
 	// point owns its engine and results are assembled in submission order,
 	// so outputs are identical at any width.
 	Parallel int
+
+	// Fault, when enabled, arms the seed-driven fault storm on every
+	// simulated experiment point (the CLI's -fault flag); Checkpoint
+	// selects the checkpoint policy priced into every report (-checkpoint).
+	// F20 sweeps policies itself and only inherits the storm.
+	Fault      fault.Spec
+	Checkpoint fault.Policy
 
 	// CheckInvariants audits every simulated report against the registered
 	// physical invariants (internal/invariant): conservation, roofline
@@ -103,6 +111,7 @@ var registry = map[string]experiment{
 	"F17": {"Read QoS under update load: program suspend (extension)", runF17},
 	"F18": {"State-region cell-mode trade-off (extension)", runF18},
 	"F19": {"GC hot/cold stream separation (extension)", runF19},
+	"F20": {"Fault storms: checkpoint policy comparison (extension)", runF20},
 }
 
 // IDs lists experiment identifiers in presentation order.
@@ -165,6 +174,8 @@ func RunMany(ids []string, opts Options) ([]*Result, runner.Summary, error) {
 func baseConfig(opts Options, model dnn.Model) core.Config {
 	cfg := core.DefaultConfig(model)
 	cfg.MaxSimUnits = opts.simUnits()
+	cfg.Fault = opts.Fault
+	cfg.Checkpoint = opts.Checkpoint
 	return cfg
 }
 

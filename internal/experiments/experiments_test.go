@@ -27,10 +27,10 @@ func runExp(t *testing.T, id string) *Result {
 
 func TestIDsOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 21 {
-		t.Fatalf("have %d experiments, want 21", len(ids))
+	if len(ids) != 22 {
+		t.Fatalf("have %d experiments, want 22", len(ids))
 	}
-	if ids[0] != "T1" || ids[1] != "T2" || ids[2] != "F1" || ids[20] != "F19" {
+	if ids[0] != "T1" || ids[1] != "T2" || ids[2] != "F1" || ids[21] != "F20" {
 		t.Fatalf("ordering: %v", ids)
 	}
 	for _, id := range ids {
@@ -391,6 +391,44 @@ func TestF19SeparationHelps(t *testing.T) {
 	wafOn := cell(t, tab.Row(1), 1)
 	if wafOn > wafOff {
 		t.Fatalf("separation worsened WAF: %v vs %v", wafOn, wafOff)
+	}
+}
+
+// TestF20PolicyTrade pins the checkpoint-policy comparison the fault-storm
+// experiment exists to show: under the identical storm, in-place
+// checkpoints are cheaper to take and to restore from than host-pull but
+// pay NAND programs, and any checkpoint beats re-streaming from the host.
+func TestF20PolicyTrade(t *testing.T) {
+	res := runExp(t, "F20")
+	tab := res.Tables[0] // rows: none, inplace, hostpull
+	none, inplace, hostpull := tab.Row(0), tab.Row(1), tab.Row(2)
+	if none[1] != "none" || inplace[1] != "inplace" || hostpull[1] != "hostpull" {
+		t.Fatalf("policy rows misordered: %v / %v / %v", none[1], inplace[1], hostpull[1])
+	}
+	// The policy is pure accounting: identical storms fire identical faults.
+	for c := 2; c <= 4; c++ {
+		if none[c] != inplace[c] || none[c] != hostpull[c] {
+			t.Fatalf("fired-fault column %d differs across policies", c)
+		}
+	}
+	if cell(t, none, 2)+cell(t, none, 3)+cell(t, none, 4) < 1 {
+		t.Fatal("storm fired no faults")
+	}
+	if cell(t, inplace, 5) >= cell(t, hostpull, 5) {
+		t.Fatalf("in-place checkpoint %v ms not cheaper than host-pull %v ms",
+			cell(t, inplace, 5), cell(t, hostpull, 5))
+	}
+	if cell(t, inplace, 6) >= cell(t, none, 6) {
+		t.Fatalf("in-place recovery %v ms not cheaper than checkpoint-free %v ms",
+			cell(t, inplace, 6), cell(t, none, 6))
+	}
+	if cell(t, inplace, 8) <= 0 || !approx.Equal(cell(t, hostpull, 8), 0) {
+		t.Fatalf("WAF cost: inplace %v GB, hostpull %v GB", cell(t, inplace, 8), cell(t, hostpull, 8))
+	}
+	// The cross-system table surfaces the storm to all four systems.
+	sys := res.Tables[1]
+	if sys.NumRows() != 4 {
+		t.Fatalf("cross-system table has %d rows", sys.NumRows())
 	}
 }
 

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/fault"
+	"repro/internal/stats"
+)
+
+// f20Storm is the mixed fault storm F20 sweeps when the CLI didn't arm
+// one: rates dense enough that every kind fires several times inside even
+// the quick simulation window (windows are sub-millisecond to a few
+// milliseconds; rates are per second of simulated time).
+func f20Storm(opts Options) fault.Spec {
+	if opts.Fault.Enabled() {
+		return opts.Fault
+	}
+	return fault.Spec{
+		Seed:            8,
+		PowerLossPerSec: 50_000,
+		DieFailPerSec:   20_000,
+		ECCPerSec:       100_000,
+		HorizonMs:       2,
+	}
+}
+
+// runF20 compares the checkpoint policies under a mixed fault storm. The
+// policy is pure accounting — the same seed fires the identical fault set
+// under each policy — so the table isolates the trade the paper's
+// recovery discussion frames: in-place (ODP copyback) checkpoints are
+// cheap to take and to restore but program NAND (WAF cost) and lose a
+// die's checkpoint shard with the die; host-pull checkpoints pay the
+// external link both ways but write nothing device-side.
+func runF20(opts Options) (*Result, error) {
+	storm := f20Storm(opts)
+
+	// Policy comparison on the flagship offload point: OptimStore on a
+	// model that cannot stay GPU-resident.
+	policies := []fault.Policy{fault.CheckpointNone, fault.CheckpointInPlace, fault.CheckpointHostPull}
+	var polReports []*core.Report
+	for _, p := range policies {
+		cfg := baseConfig(opts, dnn.GPT13B())
+		cfg.Fault = storm
+		cfg.Checkpoint = p
+		rs, err := runSystems(opts, cfg, "optimstore")
+		if err != nil {
+			return nil, err
+		}
+		polReports = append(polReports, rs...)
+	}
+
+	// The same storm surfaced to all four systems (BERT-Large so the
+	// GPU-resident reference is feasible and prices its analytic row).
+	cfg := baseConfig(opts, dnn.BERTLarge())
+	cfg.Fault = storm
+	cfg.Checkpoint = fault.CheckpointInPlace
+	sysReports, err := runSystems(opts, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		Tables: []*stats.Table{
+			core.FaultTable("Checkpoint policies under a mixed fault storm (OptimStore, GPT-13B)", polReports),
+			core.FaultTable("Fault storm across systems (in-place checkpoints, BERT-Large)", sysReports),
+		},
+	}, nil
+}

@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Rates parameterizes Schedule: independent Poisson processes per kind
+// over the window [Start, Horizon).
+type Rates struct {
+	PowerLossPerSec float64
+	DieFailPerSec   float64
+	ECCPerSec       float64
+	Start           sim.Time
+	Horizon         sim.Time
+}
+
+// Per-kind seed salts so each kind's process is an independent stream:
+// changing one rate never perturbs another kind's arrival times.
+var kindSalt = [numKinds]int64{
+	PowerLoss:  0x706f7765722d6c6f, // "power-lo"
+	DieFailure: 0x6469652d6661696c, // "die-fail"
+	ECCExhaust: 0x6563632d65786861, // "ecc-exha"
+}
+
+// Schedule draws a deterministic fault plan from a seed: per kind, a
+// locally-seeded exponential inter-arrival process over [Start, Horizon),
+// merged into one time-sorted plan. Identical (seed, rates) yield
+// byte-identical plans on every platform and at any worker-pool width —
+// the generator touches no global state.
+func Schedule(seed int64, r Rates) Plan {
+	var plan Plan
+	gen := func(kind Kind, perSec float64) {
+		if perSec <= 0 || r.Horizon <= r.Start {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed ^ kindSalt[kind]))
+		t := r.Start
+		for {
+			gap := units.Seconds(rng.ExpFloat64() / perSec)
+			if gap < 1 {
+				gap = 1 // keep time strictly advancing at extreme rates
+			}
+			t += gap
+			if t >= r.Horizon {
+				return
+			}
+			plan = append(plan, Event{Kind: kind, At: t, Pick: rng.Int63()})
+		}
+	}
+	gen(PowerLoss, r.PowerLossPerSec)
+	gen(DieFailure, r.DieFailPerSec)
+	gen(ECCExhaust, r.ECCPerSec)
+	// Stable sort: same-instant events keep kind-generation order, so the
+	// merged plan is a pure function of (seed, rates).
+	sort.SliceStable(plan, func(i, j int) bool {
+		if plan[i].At != plan[j].At {
+			return plan[i].At < plan[j].At
+		}
+		return plan[i].Kind < plan[j].Kind
+	})
+	return plan
+}

@@ -74,6 +74,7 @@ type Die struct {
 	params Params
 	planes []*plane
 	counts OpCounts
+	failed bool
 }
 
 // NewDie builds a die with the given parameters. It panics on invalid
@@ -108,10 +109,38 @@ func (d *Die) Params() Params { return d.params }
 func (d *Die) Counts() OpCounts { return d.counts }
 
 func (d *Die) checkAddr(a Addr) *plane {
+	if d.failed {
+		panic(fmt.Sprintf("nand: %s: operation on failed die", d.name))
+	}
 	if !a.valid(d.params) {
 		panic(fmt.Sprintf("nand: %s: address %v outside geometry", d.name, a))
 	}
 	return d.planes[a.Plane]
+}
+
+// Fail marks the die as failed (chip-level defect). A failed die keeps its
+// state for post-mortem inspection, but any further array operation panics
+// — the controller must never issue work to a die it knows is dead.
+func (d *Die) Fail() { d.failed = true }
+
+// Failed reports whether the die has been marked failed.
+func (d *Die) Failed() bool { return d.failed }
+
+// RestoreBlock installs a block's physical condition — write pointer and
+// accumulated P/E cycles — directly, without simulating operations or
+// touching the op counts. Crash-recovery rebuilds (ssd.Recover) use it to
+// copy the durable media state of a crashed device into a fresh one.
+func (d *Die) RestoreBlock(planeIdx, block, writePtr, eraseCount int) {
+	if planeIdx < 0 || planeIdx >= len(d.planes) || block < 0 || block >= d.params.BlocksPerPlane {
+		panic(fmt.Sprintf("nand: %s: restore of block %d/%d outside geometry", d.name, planeIdx, block))
+	}
+	if writePtr < 0 || writePtr > d.params.PagesPerBlock || eraseCount < 0 {
+		panic(fmt.Sprintf("nand: %s: restore block %d/%d writePtr=%d erases=%d",
+			d.name, planeIdx, block, writePtr, eraseCount))
+	}
+	blk := &d.planes[planeIdx].blocks[block]
+	blk.writePtr = writePtr
+	blk.eraseCount = eraseCount
 }
 
 // Read senses page a into the plane's page register, occupying the plane

@@ -3,6 +3,7 @@ package ssd
 import (
 	"fmt"
 
+	"repro/internal/ecc"
 	"repro/internal/nand"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -40,6 +41,11 @@ type Config struct {
 	// CmdLatency is the NVMe command handling overhead (submission,
 	// doorbell, completion) added to every host command.
 	CmdLatency sim.Time
+
+	// Retire configures ECC-exhaustion block retirement (see
+	// ecc.RetirePolicy). The zero value disables it, keeping the read
+	// completion path a single nil check.
+	Retire ecc.RetirePolicy
 }
 
 // DefaultConfig returns the baseline SSD of the reproduction: 8 channels ×
@@ -90,6 +96,9 @@ func (c Config) Validate() error {
 	}
 	if c.DRAMPageLatency < 0 || c.CmdLatency < 0 {
 		return fmt.Errorf("ssd: negative latency")
+	}
+	if err := c.Retire.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

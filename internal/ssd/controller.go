@@ -3,6 +3,7 @@ package ssd
 import (
 	"fmt"
 
+	"repro/internal/ecc"
 	"repro/internal/nand"
 	"repro/internal/sim"
 )
@@ -14,9 +15,12 @@ type Stats struct {
 	UpdateReads     uint64 // in-storage array reads (no bus)
 	UpdateWrites    uint64 // in-storage array programs (no bus)
 	GCRelocations   uint64 // valid pages moved by GC
+	GCStalePrograms uint64 // relocation programs superseded before commit
 	GCErases        uint64 // blocks erased by GC
 	RecoveredErrors uint64 // uncorrectable reads recovered by read-retry
+	ScrubReads      uint64 // internal media-health patrol reads
 	CacheHits       uint64 // reads served from the DRAM write cache
+	RetiredBlocks   int    // blocks permanently taken out of service
 	WAF             float64
 }
 
@@ -54,6 +58,17 @@ type Device struct {
 	injectedReadErrs map[int64]int
 	recoveredErrors  uint64
 
+	// retire, when non-nil, tracks per-block retry budgets and drives
+	// block retirement (cfg.Retire). Nil when the policy is disabled —
+	// the hot read path stays a single pointer check.
+	retire     *ecc.RetireTracker
+	scrubReads uint64
+
+	// boundaryHook, when non-nil, fires after every FTL op boundary (see
+	// Boundary). Nil in production runs — the crash harness installs it.
+	boundaryHook func(Boundary)
+	boundarySeq  uint64
+
 	// commitHook, when set, observes every mapping commit — the data-plane
 	// shadow integration tests use to verify content integrity across GC
 	// and log-structured remapping. oldLin is -1 for first writes.
@@ -65,6 +80,7 @@ type Device struct {
 	hostReads, hostWrites     uint64
 	updateReads, updateWrites uint64
 	gcRelocations, gcErases   uint64
+	gcStale                   uint64
 }
 
 // NewDevice builds a device; invalid configuration panics at construction.
@@ -85,6 +101,9 @@ func NewDevice(eng *sim.Engine, cfg Config) *Device {
 		dirty:         make(map[int64]int),
 	}
 	d.planeFor = func(lpa int64) int { return int(lpa % int64(geo.Planes())) }
+	if cfg.Retire.Enabled() {
+		d.retire = ecc.NewRetireTracker(cfg.Retire)
+	}
 	for ch := 0; ch < cfg.Channels; ch++ {
 		d.channels = append(d.channels,
 			nand.NewChannel(eng, fmt.Sprintf("ch%d", ch), cfg.Nand, cfg.DiesPerChannel))
@@ -151,9 +170,12 @@ func (d *Device) Stats() Stats {
 		UpdateReads:     d.updateReads,
 		UpdateWrites:    d.updateWrites,
 		GCRelocations:   d.gcRelocations,
+		GCStalePrograms: d.gcStale,
 		GCErases:        d.gcErases,
 		RecoveredErrors: d.recoveredErrors,
+		ScrubReads:      d.scrubReads,
 		CacheHits:       d.cacheHits,
+		RetiredBlocks:   d.ftl.RetiredBlocks(),
 		WAF:             d.ftl.WAF(),
 	}
 }
@@ -305,20 +327,29 @@ func (d *Device) Write(lpa int64, done func()) {
 
 // flush moves one cached page to NAND: bus transfer to the die, then
 // allocate-and-program (adjacent, to keep plane write pointers coherent).
+// The mapping commits at program COMPLETION, not issue: a crash while the
+// program is in flight leaves the prior mapping intact and the partially
+// programmed page as unmapped garbage (torn-write semantics — the RAM L2P
+// is exactly the durable map).
 func (d *Device) flush(lpa int64, plane int, release func()) {
 	ch, die, _ := d.geo.PlaneLoc(plane)
 	chan_ := d.channels[ch]
 	chan_.TransferIn(die, d.geo.PageSize, func() {
 		ppa := d.ftl.AllocPage(plane)
 		d.planeInflight[plane]--
-		d.commit(lpa, ppa, false)
+		d.ftl.BeginProgram(ppa)
 		chan_.Die(die).Program(ppa.Addr, func() {
+			d.ftl.EndProgram(ppa)
+			// Commit before clearing dirty so a read never sees a window
+			// where the page is neither cached nor mapped.
+			d.commit(lpa, ppa, false)
 			d.hostWrites++
 			if d.dirty[lpa] > 1 {
 				d.dirty[lpa]--
 			} else {
 				delete(d.dirty, lpa)
 			}
+			d.boundary(BoundaryHostWrite, lpa)
 			release()
 			d.maybeGC(plane)
 			d.opDone()
@@ -327,7 +358,13 @@ func (d *Device) flush(lpa int64, plane int, release func()) {
 }
 
 // Trim invalidates a logical page.
-func (d *Device) Trim(lpa int64) { d.ftl.Invalidate(lpa) }
+func (d *Device) Trim(lpa int64) {
+	_, mapped := d.ftl.Lookup(lpa)
+	d.ftl.Invalidate(lpa)
+	if mapped {
+		d.boundary(BoundaryTrim, lpa)
+	}
+}
 
 // ReadMapped performs an internal array read (no bus transfer) of the page
 // currently backing lpa — the first phase of an in-storage update.
@@ -364,6 +401,10 @@ const readRetryFactor = 3
 // absorbing injected uncorrectable errors with read-retry: each pending
 // error costs an extra readRetryFactor × tR of plane time.
 func (d *Device) arrayReadRecovered(lpa int64, ppa PPA, done func()) {
+	d.arrayReadRetried(lpa, ppa, 0, done)
+}
+
+func (d *Device) arrayReadRetried(lpa int64, ppa PPA, retries int, done func()) {
 	die := d.Die(ppa.Channel, ppa.Die)
 	die.Read(ppa.Addr, func() {
 		if d.injectedReadErrs[lpa] > 0 {
@@ -373,12 +414,27 @@ func (d *Device) arrayReadRecovered(lpa int64, ppa PPA, done func()) {
 			// Occupy the plane for the recovery passes, then re-check (in
 			// case more errors were injected).
 			die.Occupy(ppa.Addr, retry, func() {
-				d.arrayReadRecovered(lpa, ppa, done)
+				d.arrayReadRetried(lpa, ppa, retries+1, done)
 			})
 			return
 		}
+		d.onReadDone(ppa, retries)
 		done()
 	})
+}
+
+// onReadDone feeds the block-retirement tracker after a read converges,
+// retiring the block when its cumulative retry budget is exhausted. Nil
+// tracker (retirement disabled) keeps this a single branch.
+func (d *Device) onReadDone(ppa PPA, retries int) {
+	if d.retire == nil {
+		return
+	}
+	plane := d.geo.PlaneOf(ppa)
+	if d.retire.OnRead(d.geo.BlockIndex(ppa), retries) == ecc.BlockRetired &&
+		!d.ftl.Retired(plane, ppa.Block) {
+		d.retireBlock(plane, ppa.Block)
+	}
 }
 
 // ProgramUpdate programs updated data for lpa into a fresh page in the
@@ -395,9 +451,13 @@ func (d *Device) ProgramUpdate(lpa int64, done func()) {
 	d.whenWritable(plane, func() {
 		ppa := d.ftl.AllocPage(plane)
 		d.planeInflight[plane]--
-		d.commit(lpa, ppa, false)
-		d.updateWrites++
+		d.ftl.BeginProgram(ppa)
 		d.Die(ppa.Channel, ppa.Die).Program(ppa.Addr, func() {
+			// Commit at completion — see flush for the torn-write contract.
+			d.ftl.EndProgram(ppa)
+			d.commit(lpa, ppa, false)
+			d.updateWrites++
+			d.boundary(BoundaryUpdate, lpa)
 			d.maybeGC(plane)
 			d.opDone()
 			if done != nil {

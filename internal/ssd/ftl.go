@@ -89,6 +89,17 @@ type FTL struct {
 	validCount []int32 // valid pages per global block
 	erases     []int32 // P/E cycles per global block (FTL's own tally)
 
+	// In-flight (issued, not yet committed) programs per global block, with
+	// per-plane totals. A block with in-flight programs must not be erased:
+	// the mapping commits at program completion, and erasing out from under
+	// it would either destroy the data racing toward the block or let the
+	// commit land in an erased block.
+	inflight      []int32
+	inflightPlane []int32
+
+	retired      []bool // blocks permanently out of circulation
+	retiredCount int
+
 	planes []planeAlloc
 
 	// Write-amplification accounting.
@@ -125,13 +136,16 @@ func NewFTL(geo Geometry, logicalPages int64) *FTL {
 		panic(fmt.Sprintf("ssd: logical pages %d vs physical %d", logicalPages, total))
 	}
 	f := &FTL{
-		geo:          geo,
-		logicalPages: logicalPages,
-		l2p:          newPageMap(logicalPages),
-		p2l:          newPageMap(total),
-		validCount:   make([]int32, geo.BlocksTotal()),
-		erases:       make([]int32, geo.BlocksTotal()),
-		planes:       make([]planeAlloc, geo.Planes()),
+		geo:           geo,
+		logicalPages:  logicalPages,
+		l2p:           newPageMap(logicalPages),
+		p2l:           newPageMap(total),
+		validCount:    make([]int32, geo.BlocksTotal()),
+		erases:        make([]int32, geo.BlocksTotal()),
+		inflight:      make([]int32, geo.BlocksTotal()),
+		inflightPlane: make([]int32, geo.Planes()),
+		retired:       make([]bool, geo.BlocksTotal()),
+		planes:        make([]planeAlloc, geo.Planes()),
 	}
 	for p := range f.planes {
 		pa := &f.planes[p]
@@ -278,28 +292,166 @@ func (f *FTL) Invalidate(lpa int64) {
 	}
 }
 
+// BeginProgram records a program issued to ppa whose mapping will commit
+// at completion (EndProgram). The FTL refuses to pick blocks with in-
+// flight programs as GC victims while the count is nonzero.
+func (f *FTL) BeginProgram(ppa PPA) {
+	b := f.geo.BlockIndex(ppa)
+	f.inflight[b]++
+	f.inflightPlane[f.geo.PlaneOf(ppa)]++
+}
+
+// EndProgram retires a BeginProgram record when the program completes (or
+// completes stale, in which case no mapping is committed).
+func (f *FTL) EndProgram(ppa PPA) {
+	b := f.geo.BlockIndex(ppa)
+	f.inflight[b]--
+	f.inflightPlane[f.geo.PlaneOf(ppa)]--
+	if f.inflight[b] < 0 {
+		panic(fmt.Sprintf("ssd: EndProgram without BeginProgram on %v", ppa))
+	}
+}
+
+// InflightPrograms returns the number of issued-but-uncommitted programs
+// targeting the plane.
+func (f *FTL) InflightPrograms(planeIdx int) int {
+	return int(f.inflightPlane[planeIdx])
+}
+
 // PickVictim removes and returns the full block with the fewest valid
-// pages in the plane (greedy policy). ok is false when no full block
-// exists or every full block is entirely valid — erasing an all-valid
-// block reclaims nothing and would make GC churn forever.
+// pages in the plane (greedy policy). ok is false when no eligible full
+// block exists or the best candidate is entirely valid — erasing an
+// all-valid block reclaims nothing and would make GC churn forever.
+// Blocks with in-flight programs are ineligible (see BeginProgram).
 func (f *FTL) PickVictim(planeIdx int) (block int, ok bool) {
 	pa := &f.planes[planeIdx]
-	if len(pa.full) == 0 {
-		return 0, false
-	}
 	base := planeIdx * f.geo.BlocksPerPlane
-	best := 0
-	for i := 1; i < len(pa.full); i++ {
-		if f.validCount[base+int(pa.full[i])] < f.validCount[base+int(pa.full[best])] {
+	best := -1
+	for i := 0; i < len(pa.full); i++ {
+		if f.inflight[base+int(pa.full[i])] > 0 {
+			continue
+		}
+		if best < 0 || f.validCount[base+int(pa.full[i])] < f.validCount[base+int(pa.full[best])] {
 			best = i
 		}
 	}
-	if int(f.validCount[base+int(pa.full[best])]) == f.geo.PagesPerBlock {
+	if best < 0 || int(f.validCount[base+int(pa.full[best])]) == f.geo.PagesPerBlock {
 		return 0, false
 	}
 	b := pa.full[best]
 	pa.full = append(pa.full[:best], pa.full[best+1:]...)
 	return int(b), true
+}
+
+// TakeBlock removes a block from the plane's full list without erasing it
+// — the first step of retirement. It returns false when the block is not
+// currently in the full list (free, open, or already claimed by GC as a
+// victim); retirement is then deferred until the block next fills.
+func (f *FTL) TakeBlock(planeIdx, block int) bool {
+	pa := &f.planes[planeIdx]
+	for i, b := range pa.full {
+		if int(b) == block {
+			pa.full = append(pa.full[:i], pa.full[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// RetireBlock marks a block permanently out of circulation. The caller
+// must have removed it from the allocation lists (TakeBlock) and relocated
+// its valid pages first.
+func (f *FTL) RetireBlock(planeIdx, block int) {
+	g := planeIdx*f.geo.BlocksPerPlane + block
+	if f.retired[g] {
+		panic(fmt.Sprintf("ssd: block %d/%d retired twice", planeIdx, block))
+	}
+	if n := f.validCount[g]; n != 0 {
+		panic(fmt.Sprintf("ssd: retiring block %d/%d with %d valid pages", planeIdx, block, n))
+	}
+	if f.inflight[g] != 0 {
+		panic(fmt.Sprintf("ssd: retiring block %d/%d with in-flight programs", planeIdx, block))
+	}
+	// Drop stale reverse mappings so the retired block holds nothing.
+	start := int64(g) * int64(f.geo.PagesPerBlock)
+	for p := 0; p < f.geo.PagesPerBlock; p++ {
+		f.p2l.set(start+int64(p), unmapped)
+	}
+	f.retired[g] = true
+	f.retiredCount++
+}
+
+// Retired reports whether a plane's block has been retired.
+func (f *FTL) Retired(planeIdx, block int) bool {
+	return f.retired[planeIdx*f.geo.BlocksPerPlane+block]
+}
+
+// RetiredBlocks returns the total number of retired blocks.
+func (f *FTL) RetiredBlocks() int { return f.retiredCount }
+
+// MappedPages returns the number of logical pages currently mapped.
+func (f *FTL) MappedPages() int64 {
+	var n int64
+	for _, c := range f.validCount {
+		n += int64(c)
+	}
+	return n
+}
+
+// NthMappedLPA returns the k-th (mod count) mapped logical page in lpa
+// order, or ok=false when nothing is mapped. Fault injection uses it to
+// pick a deterministic victim page from a seed without knowing the
+// workload's footprint.
+func (f *FTL) NthMappedLPA(k int64) (lpa int64, ok bool) {
+	total := f.MappedPages()
+	if total == 0 {
+		return 0, false
+	}
+	k %= total
+	if k < 0 {
+		k += total
+	}
+	f.l2p.forEach(func(l, _ int64) {
+		if ok {
+			return
+		}
+		if k == 0 {
+			lpa, ok = l, true
+			return
+		}
+		k--
+	})
+	return lpa, ok
+}
+
+// ValidPagesOnDie sums the valid pages mapped to one die — the data a die
+// failure would take out.
+func (f *FTL) ValidPagesOnDie(ch, die int) int64 {
+	var n int64
+	for p := 0; p < f.geo.PlanesPerDie; p++ {
+		base := f.geo.PlaneIndex(ch, die, p) * f.geo.BlocksPerPlane
+		for b := 0; b < f.geo.BlocksPerPlane; b++ {
+			n += int64(f.validCount[base+b])
+		}
+	}
+	return n
+}
+
+// restoreMapping installs lpa→ppa during crash-recovery replay: same map
+// updates as CommitWrite but with no displacement (the rebuilt maps start
+// empty) and no program tallies (the programs happened before the crash).
+func (f *FTL) restoreMapping(lpa int64, ppa PPA) {
+	f.checkLPA(lpa)
+	lin := f.geo.Linear(ppa)
+	if f.p2l.get(lin) != unmapped {
+		panic(fmt.Sprintf("ssd: recovery maps two lpas to %v", ppa))
+	}
+	if f.l2p.get(lpa) != unmapped {
+		panic(fmt.Sprintf("ssd: recovery maps lpa %d twice", lpa))
+	}
+	f.l2p.set(lpa, lin)
+	f.p2l.set(lin, lpa)
+	f.validCount[f.geo.BlockIndex(ppa)]++
 }
 
 // ValidLPAs returns the logical pages still valid in a plane's block, in
@@ -326,6 +478,9 @@ func (f *FTL) ValidCount(planeIdx, block int) int {
 func (f *FTL) OnErased(planeIdx, block int) {
 	if n := f.ValidCount(planeIdx, block); n != 0 {
 		panic(fmt.Sprintf("ssd: erasing block %d/%d with %d valid pages", planeIdx, block, n))
+	}
+	if f.Retired(planeIdx, block) {
+		panic(fmt.Sprintf("ssd: erasing retired block %d/%d", planeIdx, block))
 	}
 	// Drop stale reverse mappings for the erased block.
 	blockGlobal := planeIdx*f.geo.BlocksPerPlane + block
@@ -413,6 +568,23 @@ func (f *FTL) CheckConsistent() error {
 	for b := range counts {
 		if counts[b] != f.validCount[b] {
 			return fmt.Errorf("block %d validCount %d, recount %d", b, f.validCount[b], counts[b])
+		}
+		if f.retired[b] && (f.validCount[b] != 0 || f.inflight[b] != 0) {
+			return fmt.Errorf("retired block %d has valid=%d inflight=%d",
+				b, f.validCount[b], f.inflight[b])
+		}
+	}
+	for p := range f.planes {
+		var sum int32
+		base := p * f.geo.BlocksPerPlane
+		for b := 0; b < f.geo.BlocksPerPlane; b++ {
+			if f.inflight[base+b] < 0 {
+				return fmt.Errorf("block %d inflight %d negative", base+b, f.inflight[base+b])
+			}
+			sum += f.inflight[base+b]
+		}
+		if sum != f.inflightPlane[p] {
+			return fmt.Errorf("plane %d inflight total %d, recount %d", p, f.inflightPlane[p], sum)
 		}
 	}
 	return nil

@@ -32,8 +32,12 @@ func (d *Device) gcStep(plane int) {
 	}
 	victim, ok := d.ftl.PickVictim(plane)
 	if !ok {
-		// Nothing reclaimable: all data lives in the open or free blocks.
-		if len(d.pending[plane]) > 0 && d.ftl.FreeBlocks(plane) == 0 {
+		// Nothing reclaimable right now. With programs still in flight on
+		// the plane that is transient — each completion commits a mapping
+		// and re-triggers maybeGC, so progress resumes. With none, pending
+		// writers can never be satisfied: a genuine wedge.
+		if len(d.pending[plane]) > 0 && d.ftl.FreeBlocks(plane) == 0 &&
+			d.ftl.InflightPrograms(plane) == 0 {
 			panic("ssd: plane wedged: writers pending but nothing reclaimable " +
 				"(logical load exceeds physical capacity)")
 		}
@@ -41,14 +45,19 @@ func (d *Device) gcStep(plane int) {
 		return
 	}
 	lpas := d.ftl.ValidLPAs(plane, victim)
-	d.relocate(plane, victim, lpas, 0)
+	d.relocate(plane, victim, lpas, 0, func() { d.eraseVictim(plane, victim) })
 }
 
-// relocate moves the i-th valid page of the victim block, then recurses;
-// when the list is exhausted it erases the victim.
-func (d *Device) relocate(plane, victim int, lpas []int64, i int) {
+// relocate moves the i-th still-valid page of a block, then recurses; when
+// the list is exhausted it calls then (GC erases the victim; retirement
+// seals the block). Relocation commits at program completion like every
+// other write: if an update or trim supersedes the page while the copyback
+// program is in flight, the commit is skipped and the target page becomes
+// dead garbage (counted in GCStalePrograms) — committing anyway would
+// resurrect trimmed data or roll an update back.
+func (d *Device) relocate(plane, victim int, lpas []int64, i int, then func()) {
 	if i >= len(lpas) {
-		d.eraseVictim(plane, victim)
+		then()
 		return
 	}
 	lpa := lpas[i]
@@ -56,7 +65,7 @@ func (d *Device) relocate(plane, victim int, lpas []int64, i int) {
 	// Skip pages that were rewritten (and hence invalidated in the victim)
 	// after the work list was built.
 	if !ok || d.geo.PlaneOf(old) != plane || old.Block != victim {
-		d.relocate(plane, victim, lpas, i+1)
+		d.relocate(plane, victim, lpas, i+1, then)
 		return
 	}
 	die := d.Die(old.Channel, old.Die)
@@ -64,7 +73,7 @@ func (d *Device) relocate(plane, victim int, lpas []int64, i int) {
 		// Re-check: the mapping may have moved while the read was queued.
 		cur, ok := d.ftl.Lookup(lpa)
 		if !ok || cur != old {
-			d.relocate(plane, victim, lpas, i+1)
+			d.relocate(plane, victim, lpas, i+1, then)
 			return
 		}
 		stream := HotStream
@@ -72,10 +81,18 @@ func (d *Device) relocate(plane, victim int, lpas []int64, i int) {
 			stream = ColdStream
 		}
 		ppa := d.ftl.AllocPageStream(plane, stream)
-		d.commit(lpa, ppa, true)
-		d.gcRelocations++
+		d.ftl.BeginProgram(ppa)
 		die.Program(ppa.Addr, func() {
-			d.relocate(plane, victim, lpas, i+1)
+			d.ftl.EndProgram(ppa)
+			if cur2, ok2 := d.ftl.Lookup(lpa); ok2 && cur2 == old {
+				d.commit(lpa, ppa, true)
+				d.gcRelocations++
+				d.boundary(BoundaryGC, lpa)
+			} else {
+				d.gcStale++
+				d.boundary(BoundaryGCStale, lpa)
+			}
+			d.relocate(plane, victim, lpas, i+1, then)
 		})
 	})
 }
@@ -86,6 +103,7 @@ func (d *Device) eraseVictim(plane, victim int) {
 	die.Erase(nand.Addr{Plane: pl, Block: victim}, func() {
 		d.ftl.OnErased(plane, victim)
 		d.gcErases++
+		d.boundary(BoundaryErase, -1)
 		d.drainPending(plane)
 		d.gcStep(plane)
 	})

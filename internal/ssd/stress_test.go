@@ -135,12 +135,13 @@ func runRandomWorkload(t *testing.T, seed int64) {
 	}
 
 	// Counter reconciliation: NAND program ops = host + update + GC
-	// programs (preload marks don't program).
+	// programs, committed or superseded-in-flight (preload marks don't
+	// program).
 	s := d.Stats()
 	nand := d.Counts()
-	if nand.Programs != s.HostWrites+s.UpdateWrites+s.GCRelocations {
-		t.Fatalf("seed %d: programs %d != host %d + update %d + gc %d",
-			seed, nand.Programs, s.HostWrites, s.UpdateWrites, s.GCRelocations)
+	if nand.Programs != s.HostWrites+s.UpdateWrites+s.GCRelocations+s.GCStalePrograms {
+		t.Fatalf("seed %d: programs %d != host %d + update %d + gc %d + stale %d",
+			seed, nand.Programs, s.HostWrites, s.UpdateWrites, s.GCRelocations, s.GCStalePrograms)
 	}
 	if nand.Erases != s.GCErases {
 		t.Fatalf("seed %d: erases %d != gc erases %d", seed, nand.Erases, s.GCErases)
