@@ -13,7 +13,13 @@
 # the metamorphic fault-free equivalence check, the seeded 200-config
 # mixed-fault sweep pinned byte-identical across pool widths, and a
 # quick fault-storm experiment whose recovery-time table lands in
-# out/recovery_table.csv (uploaded as a CI artifact); trace-verify
+# out/recovery_table.csv (uploaded as a CI artifact); tier 6 checks the
+# declarative experiment layer and the design-space autotuner (DESIGN.md
+# §12): the spec-vs-seed golden-equivalence test (the migrated registry
+# renders byte-identical to the pre-refactor output at pool widths 1 and
+# 8), the search determinism/soundness/pruning tests, and a small
+# deterministic autotune whose frontier lands in out/frontier.csv
+# (uploaded as a CI artifact); trace-verify
 # re-runs the tracing layer's contract tests by name (byte-identical
 # Chrome files across pool widths, zero disabled-tracer allocations,
 # trace/utilization reconciliation — DESIGN.md §8) so a verify log shows
@@ -22,9 +28,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify vet tier1 tier2 tier3 tier4 tier5 fuzz-smoke trace-verify bench bench-gate
+.PHONY: verify vet tier1 tier2 tier3 tier4 tier5 tier6 fuzz-smoke trace-verify bench bench-gate
 
-verify: tier1 tier2 tier3 tier4 tier5 trace-verify bench-gate
+verify: tier1 tier2 tier3 tier4 tier5 tier6 trace-verify bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +53,12 @@ tier5:
 	$(GO) test -run 'TestBoundaryHookContract|TestRecover|TestBlockRetirement' -v ./internal/ssd/
 	mkdir -p out
 	$(GO) run ./cmd/optimstore -exp F20 -quick -format csv > out/recovery_table.csv
+
+tier6:
+	$(GO) test -run 'TestSpecGoldenEquivalence' -v ./internal/experiments/
+	$(GO) test -run 'TestSearch' -v ./internal/search/
+	mkdir -p out
+	$(GO) run ./cmd/tune -units 256 -budget 32 -csv out/frontier.csv
 
 trace-verify:
 	$(GO) test -run 'TestGoldenTraceDeterminism' -v ./internal/experiments/

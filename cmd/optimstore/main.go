@@ -56,7 +56,8 @@ func main() {
 
 	if *list {
 		for _, id := range experiments.IDs() {
-			fmt.Printf("%-4s %s\n", id, experiments.Title(id))
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-4s %s\n", id, title)
 		}
 		return
 	}

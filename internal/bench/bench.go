@@ -9,7 +9,9 @@
 // sweep benchmarks run the canonical 32-point sweep (8 channel counts ×
 // 4 systems, the cmd/sweep grid that BenchmarkSweep32 in
 // internal/runner times), counting events from the deterministic run
-// summary. Every measurement is best-of-three, each run started from a
+// summary; the search benchmark runs the roofline-pruned autotuner
+// (internal/search) over its default grid, counting simulated design
+// points. Every measurement is best-of-three, each run started from a
 // freshly collected heap, to shave scheduler, GC, and page-cache noise
 // on small CI machines.
 //
@@ -29,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/runner"
+	"repro/internal/search"
 	"repro/internal/sim"
 	"repro/internal/tracing"
 	"repro/internal/units"
@@ -39,7 +42,9 @@ import (
 const Schema = "repro-bench/v1"
 
 // Measure is one benchmark's normalized result. EventsPerSec is the
-// regression-gated figure; the rest contextualize it.
+// regression-gated figure; the rest contextualize it. For the search
+// benchmark an "event" is one simulated design point, and PrunedFraction
+// records how much of the grid the analytic bounds rejected.
 type Measure struct {
 	Name           string  `json:"name"`
 	EventsPerOp    int64   `json:"events_per_op"`
@@ -47,6 +52,7 @@ type Measure struct {
 	EventsPerSec   float64 `json:"events_per_sec"`
 	NsPerEvent     float64 `json:"ns_per_event"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
+	PrunedFraction float64 `json:"pruned_fraction,omitempty"`
 }
 
 // Snapshot is the on-disk BENCH_*.json document.
@@ -77,7 +83,10 @@ var PrePR = Measure{
 const snapshotNote = "events/sec of the simulation kernel: microbenchmarks time one hot path " +
 	"with a fixed event count per op; sweep32 runs the canonical 32-point sweep " +
 	"(8 channel counts x 4 systems, GPT-13B, MaxSimUnits=128) single-threaded and counts " +
-	"events from the run summary. Best of three testing.Benchmark runs, each from a collected heap. pre_pr is the " +
+	"events from the run summary; search runs the roofline-pruned autotuner over the " +
+	"default 3888-point grid (GPT-13B, MaxSimUnits=128, budget 16) single-threaded, " +
+	"counting simulated design points as events and recording the pruned fraction. " +
+	"Best of three testing.Benchmark runs, each from a collected heap. pre_pr is the " +
 	"pre-overhaul kernel's sweep32 measurement, kept for the trajectory."
 
 // sweepJobs builds the canonical 32-point sweep workload — the same
@@ -206,7 +215,33 @@ func RunAll() ([]Measure, error) {
 			}
 		}))
 	}
+
+	pre, err := searchRun()
+	if err != nil {
+		return nil, fmt.Errorf("bench: search pre-run: %w", err)
+	}
+	m := measure("search", int64(pre.Stats.Evaluated), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := searchRun(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	m.PrunedFraction = pre.Stats.PrunedFraction()
+	ms = append(ms, m)
 	return ms, nil
+}
+
+// searchRun executes the canonical autotune workload: the default
+// design-space grid over GPT-13B at the sweep32 simulation window, a
+// 16-simulation budget, sequential. Its "events" are simulated design
+// points, so EventsPerSec reads as configs-evaluated/sec — end-to-end
+// cost including grid enumeration, bound pricing, hashing, and pruning.
+func searchRun() (*search.Result, error) {
+	cfg := core.DefaultConfig(dnn.GPT13B())
+	cfg.MaxSimUnits = 128
+	return search.Run(cfg, search.DefaultSpace(), search.Options{Budget: 16, Parallel: 1})
 }
 
 // NewSnapshot wraps measurements into the canonical document.

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"repro/internal/energy"
+	"repro/internal/nand"
+	"repro/internal/optim"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// Bound is the analytic optimistic estimate of one design point, computed
+// without running a simulation. Both components are true lower bounds on
+// what the simulator can report, machine-guaranteed by the invariant
+// registry (internal/invariant):
+//
+//   - StepFloor is the roofline floor; the roofline-sandwich invariant
+//     pins floor ≤ simulated for every system and configuration.
+//   - EnergyFloor prices exactly the traffic the conservation invariants
+//     (pcie-conservation, bus-conservation, nand-accounting) prove every
+//     simulated report must carry, at the same per-byte/per-op costs the
+//     systems use. Components the invariants do not floor (GC erase
+//     bytes, relocation traffic) enter at zero, and every cost constant
+//     is positive, so EnergyFloor ≤ simulated energy.
+//
+// The autotuner (internal/search) prunes a candidate only when an already
+// simulated point beats the candidate's Bound in every objective — since
+// the bound is optimistic, the pruned candidate's actual results could
+// only have been worse, so pruning never discards a Pareto point.
+type Bound struct {
+	StepFloor   sim.Time
+	EnergyFloor float64 // joules
+	Binding     string  // binding roofline constraint, for reports
+}
+
+// BoundFor computes the analytic bound of one (system, config) point.
+// ok is false for unknown system names.
+func BoundFor(system string, cfg Config) (Bound, bool) {
+	r, ok := RooflineFor(system, cfg)
+	if !ok {
+		return Bound{}, false
+	}
+	return Bound{
+		StepFloor:   r.Floor(),
+		EnergyFloor: energyFloor(system, cfg),
+		Binding:     r.Binding(),
+	}, true
+}
+
+// energyFloor prices the mandatory traffic of one step. Every Activity
+// component mirrors either the exact analytic assignment the system's
+// report() makes (PCIe, DRAM, HBM, compute ops) or the conservation floor
+// the invariant registry enforces on the simulated counters (NAND reads/
+// programs, channel bus), using the same scaled-window arithmetic, so the
+// floor can never exceed what the simulation reports.
+func energyFloor(system string, cfg Config) float64 {
+	kernel := optim.KernelFor(cfg.Optimizer)
+	simUnits := cfg.SimUnits()
+	scale := cfg.ScaleFactor()
+	totalUnits := cfg.TouchedUnits()
+	comps := int64(cfg.Comps())
+	pageSize := int64(cfg.SSD.Nand.PageSize)
+	gradB := cfg.GradBytesPerUnit()
+	woutB := cfg.WeightOutBytesPerUnit()
+	residentB := cfg.ResidentBytesPerUnit()
+	elems := int64(cfg.ElemsPerPage())
+	flops := int64(kernel.FlopsPerElem)
+
+	scaled := func(window int64) float64 {
+		return float64(int64(float64(window) * scale))
+	}
+
+	var a energy.Activity
+	switch system {
+	case "optimstore":
+		passes := int64(kernel.ReadPasses)
+		a.NANDReadBytes = scaled(simUnits * comps * pageSize * passes)
+		a.NANDProgramBytes = scaled(simUnits * comps * pageSize)
+		// Scattered layouts add cross-die hops on top; the colocated
+		// window is the proven floor for every layout.
+		busWindow := simUnits * (gradB + woutB)
+		if kernel.ReadPasses > 1 {
+			busWindow += simUnits * 128 // trust-ratio reduction round trip
+		}
+		a.BusBytes = scaled(busWindow)
+		a.PCIeBytes = float64((gradB + woutB) * totalUnits)
+		a.DRAMBytes = float64((gradB + woutB) * totalUnits)
+		a.ODPOps = float64(simUnits*elems*flops) * scale
+	case "hostoffload":
+		a.NANDReadBytes = scaled(simUnits * comps * pageSize)
+		a.NANDProgramBytes = scaled(simUnits * comps * pageSize)
+		a.BusBytes = scaled(simUnits * comps * pageSize * 2)
+		a.PCIeBytes = float64(2 * residentB * totalUnits)
+		a.DRAMBytes = float64(2 * residentB * totalUnits)
+		a.HBMBytes = float64((2*residentB + gradB + woutB) * totalUnits)
+		a.GPUOps = float64(totalUnits) * float64(elems) * float64(flops)
+	case "ctrlisp":
+		a.NANDReadBytes = scaled(simUnits * comps * pageSize)
+		a.NANDProgramBytes = scaled(simUnits * comps * pageSize)
+		a.BusBytes = scaled(simUnits * comps * pageSize * 2)
+		a.PCIeBytes = float64((gradB + woutB) * totalUnits)
+		a.DRAMBytes = float64((2*residentB + gradB + woutB) * totalUnits)
+		a.CPUOps = float64(totalUnits) * float64(elems) * float64(flops)
+	case "gpuresident":
+		spec := cfg.Spec()
+		touched := float64(cfg.Model.Params) * cfg.Model.UpdateFraction()
+		a.HBMBytes = touched * float64(2*spec.ResidentBytes()+spec.GradBytes+spec.WeightOutBytes)
+		a.GPUOps = touched * float64(flops)
+	}
+	return energy.DefaultCosts().Evaluate(a).Total()
+}
+
+// MeasureUpdateWAF measures the steady-state write-amplification factor
+// of the full-sweep update stream on a scaled-down device of the given
+// cell type and over-provisioning (see measureUpdateWAF). WAF depends
+// only on (cell, overProvision), so the autotuner memoizes it per pair.
+func MeasureUpdateWAF(cell nand.CellType, overProvision float64, steps int) (float64, error) {
+	return measureUpdateWAF(cell, overProvision, steps)
+}
+
+// AnalyticLifetime computes the wear-limited device lifetime of a
+// configuration, in optimizer steps, at a given steady-state WAF: the
+// state footprint times WAF is programmed each step, spread across the
+// full-geometry device's blocks with ideal wear levelling. fits is false
+// (and steps zero) when the state does not fit the usable capacity —
+// the same capacity test RunEndurance applies.
+func AnalyticLifetime(cfg Config, cell nand.CellType, waf float64) (steps float64, fits bool) {
+	stateBytes := cfg.Model.Params * int64(cfg.Spec().ResidentBytes())
+	full := nand.ParamsFor(cell)
+	geo := ssd.GeometryOf(cfg.SSD.Channels, cfg.SSD.DiesPerChannel, full)
+	usable := float64(geo.TotalBytes()) * (1 - cfg.SSD.OverProvision)
+	if float64(stateBytes) > usable {
+		return 0, false
+	}
+	wear := nand.DefaultWearModel(cell)
+	erasesPerStep := float64(stateBytes) * waf / float64(full.BlockBytes())
+	return wear.LifetimeSteps(geo.BlocksTotal(), erasesPerStep), true
+}

@@ -80,9 +80,7 @@ func RunEndurance(cfg Config, cell nand.CellType, steps int) (*EnduranceReport, 
 	rep.ProgramBytesPerStep = float64(rep.StateBytes) * waf
 
 	// Lifetime: block erases per step spread across the whole device.
-	wear := nand.DefaultWearModel(cell)
-	erasesPerStep := rep.ProgramBytesPerStep / float64(full.BlockBytes())
-	rep.LifetimeSteps = wear.LifetimeSteps(geo.BlocksTotal(), erasesPerStep)
+	rep.LifetimeSteps, _ = AnalyticLifetime(cfg, cell, waf)
 
 	// Wall-clock lifetime at this configuration's training cadence.
 	sys := NewOptimStore(cfg)

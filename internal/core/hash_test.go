@@ -1,0 +1,101 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dnn"
+)
+
+func TestCanonicalHashEqualConfigs(t *testing.T) {
+	a := DefaultConfig(dnn.GPT13B())
+	b := DefaultConfig(dnn.GPT13B())
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Fatal("equal configs hash differently")
+	}
+	// Hooks and trace sinks are explicitly outside the canonical state.
+	b.ComputeHook = func(int64) {}
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Fatal("ComputeHook changed the canonical hash")
+	}
+}
+
+func TestCanonicalHashDistinguishesConfigs(t *testing.T) {
+	base := DefaultConfig(dnn.GPT13B())
+	h := base.CanonicalHash()
+	other := DefaultConfig(dnn.GPT2XL())
+	if other.CanonicalHash() == h {
+		t.Fatal("different models hash equal")
+	}
+	ch := base
+	ch.SSD.Channels++
+	if ch.CanonicalHash() == h {
+		t.Fatal("channel change not reflected in hash")
+	}
+}
+
+// TestCanonicalHashPerturbation walks every exported, hashable leaf of
+// Config by reflection, perturbs it, and requires the digest to change —
+// the property that makes the search memo table alias-free: no two
+// distinct design points can share a key.
+func TestCanonicalHashPerturbation(t *testing.T) {
+	base := DefaultConfig(dnn.GPT13B())
+	baseHash := base.CanonicalHash()
+
+	var walk func(path string, v reflect.Value)
+	walk = func(path string, v reflect.Value) {
+		switch v.Kind() {
+		case reflect.Struct:
+			t_ := v.Type()
+			for i := 0; i < t_.NumField(); i++ {
+				f := t_.Field(i)
+				if !f.IsExported() {
+					continue
+				}
+				if f.Type.Kind() == reflect.Func || f.Type.Kind() == reflect.Interface {
+					continue // explicitly unhashed (ComputeHook, Trace)
+				}
+				walk(path+"."+f.Name, v.Field(i))
+			}
+		case reflect.Bool:
+			old := v.Bool()
+			v.SetBool(!old)
+			checkChanged(t, path, base, baseHash)
+			v.SetBool(old)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			old := v.Int()
+			v.SetInt(old + 1)
+			checkChanged(t, path, base, baseHash)
+			v.SetInt(old)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			old := v.Uint()
+			v.SetUint(old + 1)
+			checkChanged(t, path, base, baseHash)
+			v.SetUint(old)
+		case reflect.Float32, reflect.Float64:
+			old := v.Float()
+			v.SetFloat(old*2 + 1)
+			checkChanged(t, path, base, baseHash)
+			v.SetFloat(old)
+		case reflect.String:
+			old := v.String()
+			v.SetString(old + "x")
+			checkChanged(t, path, base, baseHash)
+			v.SetString(old)
+		default:
+			t.Fatalf("unhashable leaf kind %s at %s", v.Kind(), path)
+		}
+	}
+	walk("Config", reflect.ValueOf(&base).Elem())
+
+	if base.CanonicalHash() != baseHash {
+		t.Fatal("perturbation walk did not restore the config")
+	}
+}
+
+func checkChanged(t *testing.T, path string, cfg Config, baseHash uint64) {
+	t.Helper()
+	if cfg.CanonicalHash() == baseHash {
+		t.Errorf("perturbing %s did not change the canonical hash", path)
+	}
+}

@@ -1,104 +1,11 @@
 package experiments
 
 import (
-	"fmt"
-
-	"repro/internal/core"
-	"repro/internal/dnn"
-	"repro/internal/layout"
-	"repro/internal/nand"
-	"repro/internal/optim"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/stats"
-	"repro/internal/units"
 )
-
-// runF7 regenerates the data-layout ablation: the OptimStore engine on
-// each placement strategy. The strategies fan across the worker pool; the
-// table is assembled afterwards in strategy order so the colocated
-// baseline (index 0) normalises every row.
-func runF7(opts Options) (*Result, error) {
-	t := stats.NewTable("F7: layout ablation (GPT-13B, Adam, OptimStore engine)",
-		"layout", "colocated-frac", "optimstore-s", "bus-GB", "slowdown-vs-colocated")
-	fig := stats.NewFigure("F7: layout ablation", "strategy index", "opt-step seconds")
-	s := fig.AddSeries("optimstore")
-	type layoutPoint struct {
-		report *core.Report
-		coloc  float64
-	}
-	results := runner.Map(opts.Parallel, layout.Strategies(), func(strat layout.Strategy) (layoutPoint, error) {
-		cfg := baseConfig(opts, dnn.GPT13B())
-		cfg.Layout = strat
-		rs, err := runSystems(opts, cfg, "optimstore")
-		if err != nil {
-			return layoutPoint{}, err
-		}
-		lay, err := layout.New(cfg.SSD.Geometry(), cfg.Comps(), cfg.SimUnits(), strat)
-		if err != nil {
-			return layoutPoint{}, err
-		}
-		return layoutPoint{report: rs[0], coloc: lay.ColocationFraction()}, nil
-	})
-	if err := runner.FirstErr(results); err != nil {
-		return nil, err
-	}
-	var baseline float64
-	for i, res := range results {
-		sec := res.Value.report.OptStepTime.Seconds()
-		if i == 0 {
-			baseline = sec
-		}
-		t.AddRow(layout.Strategies()[i].String(), res.Value.coloc, sec,
-			units.Bytes(res.Value.report.BusBytes).GBf(), sec/baseline)
-		s.Add(float64(i), sec)
-	}
-	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
-}
-
-// runF8 regenerates the precision ablation on OptimStore and the offload
-// baseline, including block-wise 8-bit quantized optimizer state — the
-// precision lever that shrinks resident state (and hence NAND traffic,
-// step time and wear) rather than just interface traffic.
-func runF8(opts Options) (*Result, error) {
-	t := stats.NewTable("F8: precision ablation (GPT-13B, Adam)",
-		"precision", "system", "opt-step-s", "pcie-GB", "nand-prog-GB", "energy-J", "tlc-lifetime-steps")
-	for _, prec := range []optim.Precision{optim.FP32, optim.Mixed16, optim.Q8State} {
-		cfg := baseConfig(opts, dnn.GPT13B())
-		cfg.Precision = prec
-		end, err := core.RunEndurance(cfg, nand.TLC, opts.wafSteps())
-		if err != nil {
-			return nil, err
-		}
-		rs, err := runSystems(opts, cfg, "hostoffload", "optimstore")
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range rs {
-			life := "-"
-			if r.System == "optimstore" && end.Fits {
-				life = fmt.Sprintf("%.0f", end.LifetimeSteps)
-			}
-			t.AddRow(prec.String(), r.System, r.OptStepTime.Seconds(),
-				units.Bytes(r.PCIeBytes).GBf(), units.Bytes(r.NANDProgramBytes).GBf(),
-				r.Energy.Total(), life)
-		}
-	}
-	return &Result{Tables: []*stats.Table{t}}, nil
-}
-
-// runF12 regenerates the ODP silicon-cost table across lane counts.
-func runF12(Options) (*Result, error) {
-	t := stats.NewTable("F12: on-die processing unit cost model",
-		"lanes", "buffer-KiB", "area-mm2", "pct-of-70mm2-die", "static-mW", "pJ/op")
-	for _, lanes := range []int{1, 2, 4, 8, 16, 32} {
-		p := defaultODPWithLanes(lanes)
-		c := odpCost(p)
-		t.AddRow(lanes, p.BufferKB, c.AreaMM2, c.DieAreaPct, c.StaticMW, c.DynamicPJ)
-	}
-	return &Result{Tables: []*stats.Table{t}}, nil
-}
 
 // runF11 regenerates the GC/over-provisioning sensitivity: steady-state
 // write amplification and update throughput of the state region under

@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -84,71 +85,101 @@ func (r *Result) String() string {
 	return b.String()
 }
 
-type experiment struct {
-	title string
-	fn    func(Options) (*Result, error)
+// registry indexes the declarative specs (specs.go) by ID. Built at init
+// so a duplicate or blank ID is a programming error caught on first use.
+var registry = buildRegistry()
+
+func buildRegistry() map[string]*Spec {
+	m := make(map[string]*Spec, len(specs))
+	for i := range specs {
+		s := &specs[i]
+		if s.ID == "" {
+			panic("experiments: spec with empty ID")
+		}
+		if _, dup := m[s.ID]; dup {
+			panic("experiments: duplicate spec ID " + s.ID)
+		}
+		m[s.ID] = s
+	}
+	return m
 }
 
-var registry = map[string]experiment{
-	"T1":  {"System configuration", runT1},
-	"T2":  {"Model zoo and state footprints", runT2},
-	"F1":  {"Optimizer-step latency per system", runF1},
-	"F2":  {"Speedup vs model scale", runF2},
-	"F3":  {"Per-optimizer comparison", runF3},
-	"F4":  {"Energy breakdown", runF4},
-	"F5":  {"Internal-parallelism sensitivity", runF5},
-	"F6":  {"ODP throughput sensitivity", runF6},
-	"F7":  {"Data-layout ablation", runF7},
-	"F8":  {"Precision ablation", runF8},
-	"F9":  {"Endurance and lifetime", runF9},
-	"F10": {"End-to-end training throughput", runF10},
-	"F11": {"GC / over-provisioning sensitivity", runF11},
-	"F12": {"ODP area and power", runF12},
-	"F13": {"Sparse embedding-table updates (extension)", runF13},
-	"F14": {"Optimizer-state checkpointing (extension)", runF14},
-	"F15": {"Overlap-model ablation (extension)", runF15},
-	"F16": {"Data-parallel cluster scaling (extension)", runF16},
-	"F17": {"Read QoS under update load: program suspend (extension)", runF17},
-	"F18": {"State-region cell-mode trade-off (extension)", runF18},
-	"F19": {"GC hot/cold stream separation (extension)", runF19},
-	"F20": {"Fault storms: checkpoint policy comparison (extension)", runF20},
-}
-
-// IDs lists experiment identifiers in presentation order.
+// IDs lists experiment identifiers in presentation order: tables before
+// figures, numerically within each class.
 func IDs() []string {
 	ids := make([]string, 0, len(registry))
 	//simlint:allow maporder keys are fully sorted below before use
 	for id := range registry {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		a, b := ids[i], ids[j]
-		if a[0] != b[0] {
-			return a[0] == 'T' // tables first, then figures
-		}
-		var na, nb int
-		fmt.Sscanf(a[1:], "%d", &na)
-		fmt.Sscanf(b[1:], "%d", &nb)
-		return na < nb
-	})
+	sortIDs(ids)
 	return ids
 }
 
-// Title returns an experiment's title.
-func Title(id string) string { return registry[id].title }
+// idKey decomposes an experiment ID for ordering: a class rank (T-tables
+// first, then F-figures, then anything else) and the numeric suffix.
+// ok reports whether the suffix parsed as a non-negative integer.
+func idKey(id string) (class, num int, ok bool) {
+	if id == "" {
+		return 3, 0, false
+	}
+	switch id[0] {
+	case 'T':
+		class = 0
+	case 'F':
+		class = 1
+	default:
+		class = 2
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil || n < 0 {
+		return class, 0, false
+	}
+	return class, n, true
+}
+
+// sortIDs orders experiment IDs for presentation: by class (T, F, other),
+// well-formed numeric suffixes ascending, and malformed IDs after the
+// well-formed ones within their class, lexicographically. Ties fall back
+// to the full string so the order is total and deterministic.
+func sortIDs(ids []string) {
+	sort.Slice(ids, func(i, j int) bool {
+		ac, an, aok := idKey(ids[i])
+		bc, bn, bok := idKey(ids[j])
+		if ac != bc {
+			return ac < bc
+		}
+		if aok != bok {
+			return aok // well-formed before malformed
+		}
+		if aok && an != bn {
+			return an < bn
+		}
+		return ids[i] < ids[j]
+	})
+}
+
+// Title returns an experiment's title and whether the ID is registered.
+func Title(id string) (string, bool) {
+	s, ok := registry[id]
+	if !ok {
+		return "", false
+	}
+	return s.Title, true
+}
 
 // Run executes one experiment by ID.
 func Run(id string, opts Options) (*Result, error) {
-	r, ok := registry[id]
+	s, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 	}
-	res, err := r.fn(opts)
+	res, err := s.run(opts)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", id, err)
 	}
 	res.ID = id
-	res.Title = r.title
+	res.Title = s.Title
 	return res, nil
 }
 
@@ -178,6 +209,13 @@ func baseConfig(opts Options, model dnn.Model) core.Config {
 	cfg.Checkpoint = opts.Checkpoint
 	return cfg
 }
+
+// defaultBase is the starting configuration of spec cells with no Base
+// hook: the shared GPT-13B default point.
+func defaultBase(opts Options) core.Config { return baseConfig(opts, dnn.GPT13B()) }
+
+// joinViolations formats an invariant-violation list for error text.
+func joinViolations(v []string) string { return strings.Join(v, "; ") }
 
 // runSystems runs the named systems on a config across the worker pool
 // and returns their reports in name order. Each system constructs its own

@@ -34,7 +34,8 @@ func TestIDsOrdered(t *testing.T) {
 		t.Fatalf("ordering: %v", ids)
 	}
 	for _, id := range ids {
-		if Title(id) == "" {
+		title, ok := Title(id)
+		if !ok || title == "" {
 			t.Errorf("%s has no title", id)
 		}
 	}

@@ -1,137 +1,11 @@
 package experiments
 
 import (
-	"repro/internal/core"
-	"repro/internal/dnn"
-	"repro/internal/nand"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/stats"
-	"repro/internal/units"
 )
-
-// runF13 regenerates the sparse-update extension study: embedding-table
-// (DLRM-style) training where each step touches only a fraction of the
-// parameters. Per-step traffic scales with the touched fraction for every
-// system; the qualitative difference is the GC/endurance behaviour of the
-// resulting random update stream (F11 measures that side).
-func runF13(opts Options) (*Result, error) {
-	t := stats.NewTable("F13: sparse embedding-table updates (DLRM-24B class, Adam)",
-		"update-fraction", "touched-GB/step", "offload-s", "optimstore-s", "speedup")
-	fig := stats.NewFigure("F13: step latency vs update fraction", "fraction", "opt-step seconds")
-	sOff := fig.AddSeries("hostoffload")
-	sOpt := fig.AddSeries("optimstore")
-	fractions := []float64{0.0001, 0.001, 0.01, 0.1}
-	if opts.Quick {
-		fractions = []float64{0.001, 0.1}
-	}
-	type sparsePoint struct {
-		off, opt  *core.Report
-		touchedGB float64
-	}
-	results := runner.Map(opts.Parallel, fractions, func(frac float64) (sparsePoint, error) {
-		model := dnn.DLRM()
-		model.SparseFraction = frac
-		cfg := baseConfig(opts, model)
-		rs, err := runSystems(opts, cfg, "hostoffload", "optimstore")
-		if err != nil {
-			return sparsePoint{}, err
-		}
-		return sparsePoint{
-			off:       rs[0],
-			opt:       rs[1],
-			touchedGB: units.Bytes(cfg.TouchedUnits() * cfg.ResidentBytesPerUnit()).GBf(),
-		}, nil
-	})
-	if err := runner.FirstErr(results); err != nil {
-		return nil, err
-	}
-	for i, frac := range fractions {
-		p := results[i].Value
-		t.AddRow(frac, p.touchedGB, p.off.OptStepTime.Seconds(), p.opt.OptStepTime.Seconds(),
-			p.opt.Speedup(p.off))
-		sOff.Add(frac, p.off.OptStepTime.Seconds())
-		sOpt.Add(frac, p.opt.OptStepTime.Seconds())
-	}
-	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
-}
-
-// runF14 regenerates the checkpointing extension study: snapshotting the
-// optimizer state externally vs with in-storage copyback.
-func runF14(opts Options) (*Result, error) {
-	t := stats.NewTable("F14: optimizer-state checkpointing",
-		"model", "state-GB", "host-stream-s", "in-storage-copy-s", "speedup", "2x-capacity-ok")
-	models := []dnn.Model{dnn.GPT2XL(), dnn.GPT13B()}
-	if !opts.Quick {
-		models = append(models, dnn.GPT6B7(), dnn.GPT30B())
-	}
-	results := runner.Map(opts.Parallel, models, func(m dnn.Model) (*core.CheckpointReport, error) {
-		return core.Checkpoint(baseConfig(opts, m))
-	})
-	if err := runner.FirstErr(results); err != nil {
-		return nil, err
-	}
-	for i, m := range models {
-		r := results[i].Value
-		t.AddRow(m.Name, units.Bytes(r.StateBytes).GBf(), r.HostStreamTime.Seconds(),
-			r.InStorageCopyTime.Seconds(), r.Speedup, r.CapacityOK)
-	}
-	return &Result{Tables: []*stats.Table{t}}, nil
-}
-
-// runF15 regenerates the overlap-model ablation: the scalar hidden-fraction
-// formula vs the simulated layer-wise pipeline, which accounts for when
-// each layer's gradients actually exist.
-func runF15(opts Options) (*Result, error) {
-	t := stats.NewTable("F15: optimizer/backward overlap models (GPT-13B, Adam)",
-		"system", "no-overlap-s", "scalar-50%-s", "layerwise-sim-s", "exposed-opt-s")
-	for _, sys := range []string{"hostoffload", "optimstore"} {
-		none := baseConfig(opts, dnn.GPT13B())
-		none.OverlapFraction = 0
-		scalar := baseConfig(opts, dnn.GPT13B())
-		layered := baseConfig(opts, dnn.GPT13B())
-		layered.LayerwiseOverlap = true
-		var rows []float64
-		for _, cfg := range []core.Config{none, scalar, layered} {
-			rs, err := runSystems(opts, cfg, sys)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, rs[0].StepTime.Seconds(), rs[0].OptStepTime.Seconds())
-		}
-		t.AddRow(sys, rows[0], rows[2], rows[4], rows[5])
-	}
-	return &Result{Tables: []*stats.Table{t}}, nil
-}
-
-// runF16 regenerates the data-parallel scaling extension: tokens/s and
-// scaling efficiency across worker counts, with the optimizer state
-// sharded ZeRO-style across each worker's OptimStore SSD.
-func runF16(opts Options) (*Result, error) {
-	t := stats.NewTable("F16: data-parallel scaling (GPT-13B, Adam, 25 GB/s ring)",
-		"workers", "shard-opt-s", "allreduce-s", "step-s", "tokens/s", "efficiency")
-	fig := stats.NewFigure("F16: cluster throughput", "workers", "tokens/s")
-	s := fig.AddSeries("optimstore cluster")
-	workers := []int{1, 2, 4, 8, 16}
-	if opts.Quick {
-		workers = []int{1, 4, 16}
-	}
-	results := runner.Map(opts.Parallel, workers, func(n int) (*core.ClusterReport, error) {
-		cfg := baseConfig(opts, dnn.GPT13B())
-		return core.RunCluster(cfg, core.DefaultCluster(n), "optimstore")
-	})
-	if err := runner.FirstErr(results); err != nil {
-		return nil, err
-	}
-	for i, n := range workers {
-		r := results[i].Value
-		t.AddRow(n, r.ShardOptStep.Seconds(), r.AllReduce.Seconds(),
-			r.StepTime.Seconds(), r.TokensPerSec, r.Efficiency)
-		s.Add(float64(n), r.TokensPerSec)
-	}
-	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
-}
 
 // runF17 regenerates the read-QoS extension: tail latency of foreground
 // reads (e.g. inference serving from the same drive) while the training
@@ -224,53 +98,6 @@ func measureReadQoS(suspend bool, rounds int) (p50, p99 float64, updates, preemp
 		}
 	}
 	return lat.Percentile(50), lat.Percentile(99), dev.Stats().UpdateWrites, preemptTotal, nil
-}
-
-// runF18 regenerates the cell-mode trade study: operating the state region
-// in SLC/MLC/TLC/QLC mode changes program latency (step time), endurance
-// (lifetime) and capacity simultaneously — the three-way trade-off behind
-// the SLC-region recommendation of F9.
-func runF18(opts Options) (*Result, error) {
-	t := stats.NewTable("F18: state-region cell mode (GPT-13B, Adam, OptimStore)",
-		"cell", "tPROG/page", "opt-step-s", "capacity-TB", "lifetime-steps", "lifetime-days")
-	fig := stats.NewFigure("F18: step time vs cell mode", "bits per cell", "opt-step seconds")
-	s := fig.AddSeries("optimstore")
-	cells := []nand.CellType{nand.SLC, nand.MLC, nand.TLC, nand.QLC}
-	type cellPoint struct {
-		report *core.Report
-		end    *core.EnduranceReport
-		tprog  string
-	}
-	results := runner.Map(opts.Parallel, cells, func(cell nand.CellType) (cellPoint, error) {
-		cfg := baseConfig(opts, dnn.GPT13B())
-		n := nand.ParamsFor(cell)
-		n.BlocksPerPlane = cfg.SSD.Nand.BlocksPerPlane // keep the sim window small
-		cfg.SSD.Nand = n
-		rs, err := runSystems(opts, cfg, "optimstore")
-		if err != nil {
-			return cellPoint{}, err
-		}
-		end, err := core.RunEndurance(cfg, cell, opts.wafSteps())
-		if err != nil {
-			return cellPoint{}, err
-		}
-		return cellPoint{report: rs[0], end: end, tprog: n.ProgramLatency.String()}, nil
-	})
-	if err := runner.FirstErr(results); err != nil {
-		return nil, err
-	}
-	for i, cell := range cells {
-		p := results[i].Value
-		if p.end.Fits {
-			t.AddRow(cell.String(), p.tprog, p.report.OptStepTime.Seconds(),
-				units.Bytes(p.end.DeviceBytes).TBf(), p.end.LifetimeSteps, p.end.LifetimeDays)
-		} else {
-			t.AddRow(cell.String(), p.tprog, p.report.OptStepTime.Seconds(),
-				units.Bytes(p.end.DeviceBytes).TBf(), "-", "-")
-		}
-		s.Add(float64(i+1), p.report.OptStepTime.Seconds())
-	}
-	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
 }
 
 // runF19 regenerates the GC stream-separation ablation: write amplification

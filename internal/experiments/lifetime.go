@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/nand"
@@ -51,34 +49,4 @@ func runF9(opts Options) (*Result, error) {
 		t2.AddRow(m.Name, units.Bytes(rep.StateBytes).GBf(), rep.LifetimeSteps, rep.LifetimeDays)
 	}
 	return &Result{Tables: []*stats.Table{t, t2}, Figures: []*stats.Figure{fig}}, nil
-}
-
-// runF10 regenerates the end-to-end throughput figure: tokens/s per system
-// across models, with the optimizer step overlapped with backward compute.
-func runF10(opts Options) (*Result, error) {
-	t := stats.NewTable("F10: end-to-end training throughput (batch 8)",
-		"model", "system", "fwdbwd-s", "opt-step-s", "step-s", "tokens/s")
-	fig := stats.NewFigure("F10: tokens/s", "params", "tokens/s")
-	series := map[string]*stats.Series{}
-	for _, n := range []string{"hostoffload", "ctrlisp", "optimstore"} {
-		series[n] = fig.AddSeries(n)
-	}
-	models := perfModels(opts)
-	for _, m := range models {
-		cfg := baseConfig(opts, m)
-		rs, err := runSystems(opts, cfg, "hostoffload", "ctrlisp", "optimstore")
-		if err != nil {
-			return nil, err
-		}
-		for i, r := range rs {
-			name := []string{"hostoffload", "ctrlisp", "optimstore"}[i]
-			t.AddRow(m.Name, r.System, r.FwdBwdTime.Seconds(), r.OptStepTime.Seconds(),
-				r.StepTime.Seconds(), r.TokensPerSec)
-			series[name].Add(float64(m.Params), r.TokensPerSec)
-		}
-	}
-	if len(models) == 0 {
-		return nil, fmt.Errorf("no models")
-	}
-	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
 }

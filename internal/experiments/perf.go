@@ -1,10 +1,7 @@
 package experiments
 
 import (
-	"repro/internal/core"
 	"repro/internal/dnn"
-	"repro/internal/optim"
-	"repro/internal/stats"
 )
 
 // perfModels is the model subset used by the latency experiments: the
@@ -14,87 +11,4 @@ func perfModels(opts Options) []dnn.Model {
 		return []dnn.Model{dnn.GPT2XL(), dnn.GPT13B()}
 	}
 	return []dnn.Model{dnn.BERTLarge(), dnn.GPT2XL(), dnn.GPT6B7(), dnn.GPT13B(), dnn.GPT30B()}
-}
-
-// runF1 regenerates the headline figure: optimizer-step latency of every
-// system across models.
-func runF1(opts Options) (*Result, error) {
-	fig := stats.NewFigure("F1: optimizer-step latency", "params", "opt-step seconds")
-	series := map[string]*stats.Series{}
-	for _, name := range core.SystemNames() {
-		series[name] = fig.AddSeries(name)
-	}
-	var reports []*core.Report
-	for _, m := range perfModels(opts) {
-		cfg := baseConfig(opts, m)
-		rs, err := runSystems(opts, cfg)
-		if err != nil {
-			return nil, err
-		}
-		for i, r := range rs {
-			reports = append(reports, r)
-			if r.Feasible {
-				series[core.SystemNames()[i]].Add(float64(m.Params), r.OptStepTime.Seconds())
-			}
-		}
-	}
-	return &Result{
-		Tables:  []*stats.Table{core.ReportTable("F1: per-system reports", reports)},
-		Figures: []*stats.Figure{fig},
-	}, nil
-}
-
-// runF2 regenerates the scaling figure: OptimStore speedup over the
-// host-offload baseline as the model grows.
-func runF2(opts Options) (*Result, error) {
-	fig := stats.NewFigure("F2: OptimStore speedup vs host offload", "params", "speedup ×")
-	sOpt := fig.AddSeries("opt-step speedup")
-	sE2E := fig.AddSeries("end-to-end speedup")
-	t := stats.NewTable("F2: speedup vs model scale",
-		"model", "params", "offload-s", "optimstore-s", "speedup", "e2e-speedup")
-	models := perfModels(opts)
-	if !opts.Quick {
-		models = append(models, dnn.GPT66B(), dnn.GPT175B())
-	}
-	for _, m := range models {
-		cfg := baseConfig(opts, m)
-		rs, err := runSystems(opts, cfg, "hostoffload", "optimstore")
-		if err != nil {
-			return nil, err
-		}
-		off, opt := rs[0], rs[1]
-		sp := opt.Speedup(off)
-		e2e := float64(off.StepTime) / float64(opt.StepTime)
-		sOpt.Add(float64(m.Params), sp)
-		sE2E.Add(float64(m.Params), e2e)
-		t.AddRow(m.Name, dnn.FormatCount(m.Params), off.OptStepTime.Seconds(),
-			opt.OptStepTime.Seconds(), sp, e2e)
-	}
-	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
-}
-
-// runF3 regenerates the per-optimizer figure on a fixed model.
-func runF3(opts Options) (*Result, error) {
-	model := dnn.GPT13B()
-	t := stats.NewTable("F3: per-optimizer optimizer-step latency (GPT-13B)",
-		"optimizer", "state-words", "offload-s", "ctrl-isp-s", "optimstore-s", "speedup-vs-offload")
-	fig := stats.NewFigure("F3: speedup per optimizer", "state words", "speedup ×")
-	s := fig.AddSeries("optimstore vs offload")
-	kinds := optim.Kinds()
-	if opts.Quick {
-		kinds = []optim.Kind{optim.SGD, optim.Adam, optim.LAMB}
-	}
-	for _, k := range kinds {
-		cfg := baseConfig(opts, model)
-		cfg.Optimizer = k
-		rs, err := runSystems(opts, cfg, "hostoffload", "ctrlisp", "optimstore")
-		if err != nil {
-			return nil, err
-		}
-		off, ctl, opt := rs[0], rs[1], rs[2]
-		t.AddRow(k.String(), optim.StateWordsFor(k), off.OptStepTime.Seconds(),
-			ctl.OptStepTime.Seconds(), opt.OptStepTime.Seconds(), opt.Speedup(off))
-		s.Add(float64(optim.StateWordsFor(k)), opt.Speedup(off))
-	}
-	return &Result{Tables: []*stats.Table{t}, Figures: []*stats.Figure{fig}}, nil
 }
