@@ -17,9 +17,11 @@
 # declarative experiment layer and the design-space autotuner (DESIGN.md
 # §12): the spec-vs-seed golden-equivalence test (the migrated registry
 # renders byte-identical to the pre-refactor output at pool widths 1 and
-# 8), the search determinism/soundness/pruning tests, and a small
+# 8), the search determinism/soundness/pruning tests, a small
 # deterministic autotune whose frontier lands in out/frontier.csv
-# (uploaded as a CI artifact); trace-verify
+# (uploaded as a CI artifact), and the five-system comparison table
+# (experiment F1 at quick scale) rendered to out/comparison_table.csv
+# (also uploaded as a CI artifact); trace-verify
 # re-runs the tracing layer's contract tests by name (byte-identical
 # Chrome files across pool widths, zero disabled-tracer allocations,
 # trace/utilization reconciliation — DESIGN.md §8) so a verify log shows
@@ -59,6 +61,7 @@ tier6:
 	$(GO) test -run 'TestSearch' -v ./internal/search/
 	mkdir -p out
 	$(GO) run ./cmd/tune -units 256 -budget 32 -csv out/frontier.csv
+	$(GO) run ./cmd/optimstore -exp F1 -quick -format csv > out/comparison_table.csv
 
 trace-verify:
 	$(GO) test -run 'TestGoldenTraceDeterminism' -v ./internal/experiments/

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_009.json", "snapshot file")
+		out       = flag.String("out", "BENCH_010.json", "snapshot file")
 		write     = flag.Bool("write", false, "write the snapshot after measuring")
 		check     = flag.Bool("check", false, "compare against the committed snapshot, exit 1 on regression")
 		update    = flag.Bool("update", false, "with -check: rewrite the snapshot on regression instead of failing")

@@ -20,8 +20,11 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/core"
+	"repro/internal/dnn"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/invariant"
 	"repro/internal/plot"
 	"repro/internal/report"
 	"repro/internal/tracing"
@@ -37,9 +40,10 @@ func main() {
 		htmlTo   = flag.String("html", "", "also write the whole run as a self-contained HTML report")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation points (1 = sequential)")
 		check    = flag.Bool("check", false, "audit every simulated report against the physical-invariant registry (internal/invariant); violations fail the run")
-		traceTo  = flag.String("trace", "", "run the four systems plus the checkpoint comparison with event tracing and write a Chrome trace_event JSON file here (open in chrome://tracing or ui.perfetto.dev); prints the trace-derived metrics instead of the experiment suite")
+		traceTo  = flag.String("trace", "", "run the five systems plus the checkpoint comparison with event tracing and write a Chrome trace_event JSON file here (open in chrome://tracing or ui.perfetto.dev); prints the trace-derived metrics instead of the experiment suite")
 		faultArg = flag.String("fault", "", "arm a fault storm on every simulated point: seed=N,pl=R,df=R,ecc=R,start=MS,horizon=MS (rates per second of sim time; empty = disabled)")
 		ckptArg  = flag.String("checkpoint", "none", "checkpoint policy priced into every report: none, inplace (ODP copyback) or hostpull")
+		system   = flag.String("system", "", "run a single system (gpuresident, hostoffload, interleaved, ctrlisp, optimstore) on the GPT-13B default configuration, audit it against the invariant registry and print its report; exits 1 on any violation")
 	)
 	flag.Parse()
 
@@ -59,6 +63,11 @@ func main() {
 			title, _ := experiments.Title(id)
 			fmt.Printf("%-4s %s\n", id, title)
 		}
+		return
+	}
+
+	if *system != "" {
+		runSystem(*system, *quick)
 		return
 	}
 
@@ -131,6 +140,34 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *htmlTo)
+	}
+}
+
+// runSystem runs one named system on the GPT-13B default configuration,
+// audits the report against the physical-invariant registry, prints the
+// report table, and exits 1 if any invariant is violated.
+func runSystem(name string, quick bool) {
+	cfg := core.DefaultConfig(dnn.GPT13B())
+	if quick {
+		cfg.MaxSimUnits = 128
+	}
+	sys, err := core.NewSystem(name, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optimstore:", err)
+		os.Exit(2)
+	}
+	r, err := sys.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optimstore:", err)
+		os.Exit(1)
+	}
+	violations := invariant.Audit(name, cfg, r)
+	fmt.Print(core.ReportTable("system: "+r.System, []*core.Report{r}))
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "optimstore: invariant violation:", v)
+		}
+		os.Exit(1)
 	}
 }
 

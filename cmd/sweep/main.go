@@ -47,7 +47,7 @@ func main() {
 		dim      = flag.String("dim", "channels", "sweep dimension: channels, dies, lanes, clock, pciegen, batch, busmbps")
 		values   = flag.String("values", "2,4,8,16", "comma-separated values")
 		model    = flag.String("model", "GPT-13B", "model name from the zoo")
-		systems  = flag.String("systems", "hostoffload,ctrlisp,optimstore", "systems to run")
+		systems  = flag.String("systems", "hostoffload,interleaved,ctrlisp,optimstore", "systems to run")
 		units    = flag.Int64("units", 512, "simulation window in update units")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines (1 = sequential)")
 		check    = flag.Bool("check", false, "audit every point against the physical-invariant registry (internal/invariant); violations fail the sweep")

@@ -25,11 +25,11 @@ func main() {
 
 	spec := cfg.Spec()
 	fmt.Printf("Model: %s\n", model)
-	fmt.Printf("Optimizer state: %d B/param -> %.0f GB resident in flash\n",
-		spec.ResidentBytes(), float64(model.Params)*float64(spec.ResidentBytes())/units.BytesPerGB)
+	fmt.Printf("Optimizer state: %v B/param -> %.0f GB resident in flash\n",
+		spec.ResidentBytes(), float64(model.Params)*spec.ResidentBytes()/units.BytesPerGB)
 	fmt.Printf("GPU memory: %.0f GB (%s) -> state is %.1fx too large to keep on-device\n\n",
 		cfg.GPU.MemoryGB, cfg.GPU.Name,
-		float64(model.Params)*float64(spec.ResidentBytes())/(cfg.GPU.MemoryGB*units.BytesPerGB))
+		float64(model.Params)*spec.ResidentBytes()/(cfg.GPU.MemoryGB*units.BytesPerGB))
 
 	// System comparison at the default batch.
 	var reports []*core.Report

@@ -6,8 +6,8 @@
 // path each — schedule+fire, batch schedule, pooled Resource.Use — with
 // a known number of simulated events per operation, so events/sec and
 // ns/event fall out of testing.Benchmark's wall-clock directly. The
-// sweep benchmarks run the canonical 32-point sweep (8 channel counts ×
-// 4 systems, the cmd/sweep grid that BenchmarkSweep32 in
+// sweep benchmarks run the canonical channel×system sweep (8 channel
+// counts × 5 systems, the cmd/sweep grid that BenchmarkSweep32 in
 // internal/runner times), counting events from the deterministic run
 // summary; the search benchmark runs the roofline-pruned autotuner
 // (internal/search) over its default grid, counting simulated design
@@ -81,15 +81,16 @@ var PrePR = Measure{
 
 // snapshotNote documents the methodology inside the artifact itself.
 const snapshotNote = "events/sec of the simulation kernel: microbenchmarks time one hot path " +
-	"with a fixed event count per op; sweep32 runs the canonical 32-point sweep " +
-	"(8 channel counts x 4 systems, GPT-13B, MaxSimUnits=128) single-threaded and counts " +
+	"with a fixed event count per op; sweep32 runs the canonical channel-by-system sweep " +
+	"(8 channel counts x 5 systems, GPT-13B, MaxSimUnits=128; the name predates the " +
+	"fifth system) single-threaded and counts " +
 	"events from the run summary; search runs the roofline-pruned autotuner over the " +
-	"default 3888-point grid (GPT-13B, MaxSimUnits=128, budget 16) single-threaded, " +
+	"default 5184-point grid (GPT-13B, MaxSimUnits=128, budget 16) single-threaded, " +
 	"counting simulated design points as events and recording the pruned fraction. " +
 	"Best of three testing.Benchmark runs, each from a collected heap. pre_pr is the " +
 	"pre-overhaul kernel's sweep32 measurement, kept for the trajectory."
 
-// sweepJobs builds the canonical 32-point sweep workload — the same
+// sweepJobs builds the canonical channel×system sweep workload — the same
 // grid BenchmarkSweep32 in internal/runner times (duplicated because a
 // package under test cannot import one that imports it back).
 func sweepJobs(traced bool) []runner.Job[*core.Report] {

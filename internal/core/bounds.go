@@ -3,7 +3,6 @@ package core
 import (
 	"repro/internal/energy"
 	"repro/internal/nand"
-	"repro/internal/optim"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -53,7 +52,7 @@ func BoundFor(system string, cfg Config) (Bound, bool) {
 // programs, channel bus), using the same scaled-window arithmetic, so the
 // floor can never exceed what the simulation reports.
 func energyFloor(system string, cfg Config) float64 {
-	kernel := optim.KernelFor(cfg.Optimizer)
+	kernel := kernelFor(cfg)
 	simUnits := cfg.SimUnits()
 	scale := cfg.ScaleFactor()
 	totalUnits := cfg.TouchedUnits()
@@ -93,6 +92,13 @@ func energyFloor(system string, cfg Config) float64 {
 		a.DRAMBytes = float64(2 * residentB * totalUnits)
 		a.HBMBytes = float64((2*residentB + gradB + woutB) * totalUnits)
 		a.GPUOps = float64(totalUnits) * float64(elems) * float64(flops)
+	case "interleaved":
+		a.NANDReadBytes = scaled(simUnits * comps * pageSize)
+		a.NANDProgramBytes = scaled(simUnits * comps * pageSize)
+		a.BusBytes = scaled(simUnits * comps * pageSize * 2)
+		a.PCIeBytes = float64(2 * residentB * totalUnits)
+		a.DRAMBytes = float64((2*residentB + gradB + woutB) * totalUnits)
+		a.CPUOps = float64(totalUnits) * float64(elems) * float64(flops)
 	case "ctrlisp":
 		a.NANDReadBytes = scaled(simUnits * comps * pageSize)
 		a.NANDProgramBytes = scaled(simUnits * comps * pageSize)
@@ -103,7 +109,7 @@ func energyFloor(system string, cfg Config) float64 {
 	case "gpuresident":
 		spec := cfg.Spec()
 		touched := float64(cfg.Model.Params) * cfg.Model.UpdateFraction()
-		a.HBMBytes = touched * float64(2*spec.ResidentBytes()+spec.GradBytes+spec.WeightOutBytes)
+		a.HBMBytes = touched * (2*spec.ResidentBytes() + float64(spec.GradBytes+spec.WeightOutBytes))
 		a.GPUOps = touched * float64(flops)
 	}
 	return energy.DefaultCosts().Evaluate(a).Total()
@@ -124,7 +130,7 @@ func MeasureUpdateWAF(cell nand.CellType, overProvision float64, steps int) (flo
 // (and steps zero) when the state does not fit the usable capacity —
 // the same capacity test RunEndurance applies.
 func AnalyticLifetime(cfg Config, cell nand.CellType, waf float64) (steps float64, fits bool) {
-	stateBytes := cfg.Model.Params * int64(cfg.Spec().ResidentBytes())
+	stateBytes := int64(float64(cfg.Model.Params) * cfg.Spec().ResidentBytes())
 	full := nand.ParamsFor(cell)
 	geo := ssd.GeometryOf(cfg.SSD.Channels, cfg.SSD.DiesPerChannel, full)
 	usable := float64(geo.TotalBytes()) * (1 - cfg.SSD.OverProvision)

@@ -1,9 +1,12 @@
-// Package core assembles the substrates into the four systems the
+// Package core assembles the substrates into the five systems the
 // reproduction compares:
 //
 //   - OptimStore   — in-storage optimizer update with on-die processing,
 //   - HostOffload  — ZeRO-Infinity-style baseline: state streamed to the
 //     GPU over PCIe, updated there, streamed back,
+//   - Interleaved  — Deep-Optimizer-States-style baseline: state streamed
+//     to the host CPU in subgroups whose prefetch, update, and write-back
+//     phases overlap in a deep pipeline,
 //   - CtrlISP      — in-storage processing at the SSD controller (near-
 //     storage but not on-die),
 //   - GPUResident  — the no-offload reference, feasible only while
@@ -45,6 +48,20 @@ type Config struct {
 	Layout    layout.Strategy
 	Model     dnn.Model
 	Batch     int
+
+	// GradAccum is the number of micro-batch gradients folded into
+	// resident state per optimizer step. Only AdamA (Adam Accumulation)
+	// supports in-state folding, so Validate rejects values above 1 for
+	// every other optimizer. Zero means 1 (no accumulation); see Accum.
+	GradAccum int
+
+	// InterleaveDepth is the number of state subgroups K the Interleaved
+	// system partitions the step into: while subgroup i updates on the
+	// host, i+1 prefetches and i−1 writes back, so host staging memory
+	// holds ~3/K of the resident state at a time. Larger K shrinks the
+	// staging footprint but narrows the transfer pipeline. Zero means the
+	// default of 4; see Depth. Other systems ignore it.
+	InterleaveDepth int
 
 	// MaxSimUnits caps the number of update units simulated at event
 	// granularity. The optimizer step is throughput-bound and perfectly
@@ -152,6 +169,15 @@ func (c Config) Validate() error {
 	if c.OverlapFraction < 0 || c.OverlapFraction > 1 {
 		return fmt.Errorf("core: OverlapFraction %v", c.OverlapFraction)
 	}
+	if c.GradAccum < 0 {
+		return fmt.Errorf("core: GradAccum %d", c.GradAccum)
+	}
+	if c.GradAccum > 1 && c.Optimizer != optim.AdamA {
+		return fmt.Errorf("core: GradAccum %d requires the AdamA optimizer (got %s): only Adam Accumulation folds micro-batch gradients into resident state", c.GradAccum, c.Optimizer)
+	}
+	if c.InterleaveDepth < 0 {
+		return fmt.Errorf("core: InterleaveDepth %d", c.InterleaveDepth)
+	}
 	if err := c.Fault.Validate(); err != nil {
 		return err
 	}
@@ -167,8 +193,28 @@ func (c Config) Validate() error {
 }
 
 // Spec returns the per-parameter byte footprint for the configured
-// optimizer and precision.
-func (c Config) Spec() optim.StateSpec { return optim.SpecFor(c.Optimizer, c.Precision) }
+// optimizer and precision, with gradient-accumulation traffic priced in.
+func (c Config) Spec() optim.StateSpec {
+	return optim.SpecFor(c.Optimizer, c.Precision).WithAccum(c.Accum())
+}
+
+// Accum returns the effective gradient-accumulation factor (GradAccum
+// with the zero value meaning 1).
+func (c Config) Accum() int {
+	if c.GradAccum < 1 {
+		return 1
+	}
+	return c.GradAccum
+}
+
+// Depth returns the effective interleave subgroup count (InterleaveDepth
+// with the zero value meaning 4, the Deep Optimizer States default).
+func (c Config) Depth() int {
+	if c.InterleaveDepth < 1 {
+		return 4
+	}
+	return c.InterleaveDepth
+}
 
 // ElemsPerPage is the parameters per update unit: one page of FP32 master
 // weights.
@@ -177,11 +223,17 @@ func (c Config) ElemsPerPage() int { return c.SSD.Nand.PageSize / 4 }
 // Comps is the resident pages per update unit: the master-weight page
 // plus however many pages the optimizer state occupies at the configured
 // precision (two FP32 moments fill two pages; 8-bit quantized moments for
-// the same unit pack into one).
+// the same unit — including their fractional block-scale overhead — pack
+// into one).
 func (c Config) Comps() int {
-	stateBytes := c.Spec().StateBytes * c.ElemsPerPage()
-	pageSize := c.SSD.Nand.PageSize
-	return 1 + (stateBytes+pageSize-1)/pageSize
+	spec := c.Spec()
+	stateBytes := (float64(spec.StateBytes) + spec.ScaleBytesPerParam) * float64(c.ElemsPerPage())
+	pageSize := float64(c.SSD.Nand.PageSize)
+	pages := int(stateBytes / pageSize)
+	if float64(pages)*pageSize < stateBytes {
+		pages++
+	}
+	return 1 + pages
 }
 
 // TotalUnits is the number of update units covering the model's state.
@@ -225,7 +277,13 @@ func (c Config) WeightOutBytesPerUnit() int64 {
 	return int64(c.ElemsPerPage()) * int64(c.Spec().WeightOutBytes)
 }
 
-// ResidentBytesPerUnit is the in-storage footprint per unit.
+// ResidentBytesPerUnit is the in-storage footprint per unit. It is
+// page-rounded (Comps whole NAND pages) — intentionally larger than the
+// byte-exact analytic footprint Model.Params × Spec().ResidentBytes(),
+// because a page is the smallest unit NAND can read or program: internal
+// fragmentation is real capacity and real traffic. The invariant registry
+// pins the direction of the gap (analytic ≤ page-rounded) so the two
+// accountings can never silently invert.
 func (c Config) ResidentBytesPerUnit() int64 {
 	return int64(c.Comps()) * int64(c.SSD.Nand.PageSize)
 }

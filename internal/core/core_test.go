@@ -290,7 +290,7 @@ func TestNewSystemUnknown(t *testing.T) {
 	if _, err := NewSystem("bogus", testConfig(dnn.BERTLarge())); err == nil {
 		t.Fatal("unknown system accepted")
 	}
-	if len(SystemNames()) != 4 {
+	if len(SystemNames()) != 5 {
 		t.Fatal("system names")
 	}
 }

@@ -6,7 +6,6 @@ import (
 	"repro/internal/energy"
 	"repro/internal/host"
 	"repro/internal/layout"
-	"repro/internal/optim"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -61,7 +60,7 @@ func (s *CtrlISP) Run() (*Report, error) {
 	residentB := cfg.ResidentBytesPerUnit()
 	gradB := cfg.GradBytesPerUnit()
 	woutB := cfg.WeightOutBytesPerUnit()
-	kernel := optim.KernelFor(cfg.Optimizer).FlopsPerElem
+	kernel := kernelFor(cfg).FlopsPerElem
 	pageSize := geo.PageSize
 
 	// Inbound gradients over PCIe, chunked.

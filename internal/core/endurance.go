@@ -57,7 +57,7 @@ func RunEndurance(cfg Config, cell nand.CellType, steps int) (*EnduranceReport, 
 		Cell:      cell,
 	}
 	spec := cfg.Spec()
-	rep.StateBytes = cfg.Model.Params * int64(spec.ResidentBytes())
+	rep.StateBytes = int64(float64(cfg.Model.Params) * spec.ResidentBytes())
 
 	// Full-geometry capacity in the chosen cell mode (not the reduced
 	// simulation window): a real 8×4-die drive with 1024 blocks/plane.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dnn"
 	"repro/internal/nand"
+	"repro/internal/optim"
 )
 
 func TestEnduranceSLCBeatsTLC(t *testing.T) {
@@ -43,6 +44,34 @@ func TestEnduranceWAFNearOneForSequentialUpdates(t *testing.T) {
 	}
 	if rep.ProgramBytesPerStep < float64(rep.StateBytes) {
 		t.Fatal("program bytes cannot be below state bytes")
+	}
+}
+
+// TestEnduranceQ8ScaleOverhead pins the Q8State footprint fix: block-wise
+// quantization stores one float32 scale per 256-element block per state
+// tensor (8/256 B/param for Adam's two moments), so the endurance report's
+// state footprint — and therefore program traffic per step — must be
+// strictly larger than the scale-free 6 B/param figure the accounting used
+// to report.
+func TestEnduranceQ8ScaleOverhead(t *testing.T) {
+	cfg := testConfig(dnn.GPT2XL())
+	cfg.Precision = optim.Q8State
+	rep, err := RunEndurance(cfg, nand.TLC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaleFree := cfg.Model.Params * int64(cfg.Spec().MasterBytes+cfg.Spec().StateBytes)
+	if rep.StateBytes <= scaleFree {
+		t.Fatalf("Q8 StateBytes %d not above scale-free %d: per-block scale overhead lost",
+			rep.StateBytes, scaleFree)
+	}
+	want := int64(float64(cfg.Model.Params) * (6 + 8.0/optim.QuantBlockSize))
+	if rep.StateBytes != want {
+		t.Fatalf("Q8 StateBytes %d, want %d (params × (6 + 8/256))", rep.StateBytes, want)
+	}
+	if rep.ProgramBytesPerStep <= float64(scaleFree) {
+		t.Fatalf("Q8 ProgramBytesPerStep %.0f not above scale-free state %d",
+			rep.ProgramBytesPerStep, scaleFree)
 	}
 }
 

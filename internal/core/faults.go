@@ -13,7 +13,7 @@ import (
 // copyback. Shared by the standalone Checkpoint report and the fault
 // accounting; bandwidth units are decimal end to end (see Checkpoint).
 func checkpointTimes(cfg Config) (hostStream, inStorage sim.Time, stateBytes int64) {
-	stateBytes = cfg.Model.Params * int64(cfg.Spec().ResidentBytes())
+	stateBytes = int64(float64(cfg.Model.Params) * cfg.Spec().ResidentBytes())
 
 	extGBps := cfg.Link.EffectiveGBps()
 	if busGBps := cfg.SSD.ChannelMBps().GBps(); busGBps < extGBps {

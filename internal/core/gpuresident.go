@@ -28,9 +28,10 @@ func (s *GPUResident) Name() string { return "gpu-resident" }
 // accounting (Rajbhandari et al.): FP16 weights (2) + FP16 gradients (2)
 // + FP32 master weights, momentum and variance (12) = 16 bytes/param for
 // Adam-family optimizers; fewer state words shrink it accordingly.
-func (s *GPUResident) TrainingBytesPerParam() int64 {
+// Fractional because quantized state carries amortised block scales.
+func (s *GPUResident) TrainingBytesPerParam() float64 {
 	spec := s.cfg.Spec()
-	return int64(spec.GradBytes+spec.WeightOutBytes) + int64(spec.ResidentBytes())
+	return float64(spec.GradBytes+spec.WeightOutBytes) + spec.ResidentBytes()
 }
 
 // Run implements System.
@@ -54,7 +55,7 @@ func (s *GPUResident) Run() (*Report, error) {
 
 	// Feasibility: training footprint plus a 20% activation/workspace
 	// allowance must fit device memory.
-	needBytes := float64(s.TrainingBytesPerParam()*params) * 1.2
+	needBytes := s.TrainingBytesPerParam() * float64(params) * 1.2
 	haveBytes := cfg.GPU.MemoryGB * units.BytesPerGB
 	if needBytes > haveBytes {
 		r.Feasible = false
@@ -68,7 +69,7 @@ func (s *GPUResident) Run() (*Report, error) {
 	// gradients, writes working weights — over the parameters this step
 	// touches (sparse models touch a small fraction).
 	touched := float64(params) * cfg.Model.UpdateFraction()
-	hbmBytes := touched * float64(2*spec.ResidentBytes()+spec.GradBytes+spec.WeightOutBytes)
+	hbmBytes := touched * (2*spec.ResidentBytes() + float64(spec.GradBytes+spec.WeightOutBytes))
 	flops := touched * float64(kernel.FlopsPerElem)
 	r.OptStepTime = cfg.GPU.KernelTime(flops, hbmBytes)
 	r.SimTime = r.OptStepTime
@@ -90,6 +91,6 @@ func (s *GPUResident) Run() (*Report, error) {
 	if r.OptStepTime <= 0 {
 		r.OptStepTime = sim.Time(1)
 	}
-	accountFaultsAnalytic(cfg, r, s.TrainingBytesPerParam()*params)
+	accountFaultsAnalytic(cfg, r, int64(s.TrainingBytesPerParam()*float64(params)))
 	return r, nil
 }

@@ -10,23 +10,31 @@ import (
 	"repro/internal/ssd"
 )
 
-// HostOffload is the ZeRO-Infinity-style baseline: optimizer state lives on
-// the SSD, but every step the full resident state is read out over the
-// channel buses and PCIe, updated by the GPU (a trivially memory-bound
-// kernel), and written back. Gradients are already on the GPU, so the
-// external traffic per parameter is twice the resident footprint.
-type HostOffload struct {
+// InterleavedOffload is the Deep-Optimizer-States-style baseline (Maurya
+// et al.): optimizer state lives on the SSD and is updated by the host
+// CPU, but instead of staging the whole step host-side, the state is
+// partitioned into K subgroups (Config.InterleaveDepth) whose phases
+// interleave — while subgroup i updates on the CPU, subgroup i+1
+// prefetches over PCIe and subgroup i−1 writes back. Host staging memory
+// therefore holds only ~3/K of the resident state, at the cost of a
+// pipeline that is at most three subgroups deep: large K shrinks the
+// staging footprint but throttles the transfer window.
+//
+// The external traffic per parameter is identical to HostOffload — twice
+// the resident footprint over PCIe — so the two systems share a roofline
+// floor and differ only in how close their pipelines get to it.
+type InterleavedOffload struct {
 	cfg Config
 }
 
-// NewHostOffload builds the baseline for a configuration.
-func NewHostOffload(cfg Config) *HostOffload { return &HostOffload{cfg: cfg} }
+// NewInterleavedOffload builds the baseline for a configuration.
+func NewInterleavedOffload(cfg Config) *InterleavedOffload { return &InterleavedOffload{cfg: cfg} }
 
 // Name implements System.
-func (s *HostOffload) Name() string { return "hostoffload" }
+func (s *InterleavedOffload) Name() string { return "interleaved" }
 
 // Run implements System.
-func (s *HostOffload) Run() (*Report, error) {
+func (s *InterleavedOffload) Run() (*Report, error) {
 	cfg := s.cfg
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -38,13 +46,10 @@ func (s *HostOffload) Run() (*Report, error) {
 	dev := ssd.NewDevice(eng, cfg.SSD)
 	geo := dev.Geometry()
 	link := host.NewLink(eng, cfg.Link)
-	gpu := host.NewGPU(eng, cfg.GPU)
+	cpu := host.NewCPU(eng, cfg.HostCPU)
 
 	simUnits := cfg.SimUnits()
 	comps := cfg.Comps()
-	// State placement uses the same layout machinery; the baseline is
-	// insensitive to it (all pages travel anyway) but keeping it identical
-	// makes comparisons apples-to-apples.
 	lay, err := layout.New(geo, comps, simUnits, cfg.Layout)
 	if err != nil {
 		return nil, err
@@ -61,21 +66,19 @@ func (s *HostOffload) Run() (*Report, error) {
 	elems := cfg.ElemsPerPage()
 	residentB := cfg.ResidentBytesPerUnit()
 	gradB := cfg.GradBytesPerUnit()
+	woutB := cfg.WeightOutBytesPerUnit()
 	kernel := kernelFor(cfg).FlopsPerElem
 	pageSize := int64(geo.PageSize)
 
-	// GPU work batches several units per kernel launch, as a real fused
-	// optimizer kernel would.
+	// CPU work batches several units per kernel invocation, amortising
+	// per-call overhead the way a blocked AVX update loop would.
 	unitsPerBatch := cfg.TransferChunkBytes / residentB
 	if unitsPerBatch < 1 {
 		unitsPerBatch = 1
 	}
 
-	// Layer-wise overlap: the GPU kernel for a batch needs that batch's
-	// gradients, which the backward pass produces over time. (State reads
-	// from the SSD are gradient-independent and overlap freely.)
-	// Gradients are already on the GPU: availability needs no transfer,
-	// just timed resolution — still posted as one batch.
+	// Gradients are produced into host memory by the backward pass, so
+	// availability needs no transfer, just timed resolution.
 	nAvail := (simUnits + unitsPerBatch - 1) / unitsPerBatch
 	avail := gradSchedule(cfg, nAvail)
 	gradReady := make([]*future, nAvail)
@@ -101,18 +104,21 @@ func (s *HostOffload) Run() (*Report, error) {
 		}
 	}
 
-	// Admission window: ~4 units in flight per plane-slot a unit occupies,
-	// so planes stay pipelined regardless of how many pages a unit has
-	// (SGD's single-page units need a 3× deeper window than Adam's).
-	inflightCap := int64(4 * geo.Planes() / comps)
-	if min := int64(4 * geo.Dies()); inflightCap < min {
-		inflightCap = min
+	// Admission window: the defining constraint of the interleaved design.
+	// Only three subgroups may be host-resident at once (the one updating,
+	// the one prefetching, the one writing back), so at most 3·⌈units/K⌉
+	// units are in flight. Deeper partitioning (larger K) means less host
+	// staging memory and a narrower pipeline.
+	subgroup := (simUnits + int64(cfg.Depth()) - 1) / int64(cfg.Depth())
+	inflightCap := 3 * subgroup
+	if inflightCap < 4 {
+		inflightCap = 4 // a degenerate partition still pipelines minimally
 	}
 	var next int64
 	var launch func()
 
-	// Batch accumulator: units whose reads finished wait here for a PCIe +
-	// GPU + PCIe round trip, then write back.
+	// Batch accumulator: units whose prefetch reads finished wait here for
+	// the CPU update, then write back.
 	var batch []int64
 	flushBatch := func() {
 		if len(batch) == 0 {
@@ -121,8 +127,8 @@ func (s *HostOffload) Run() (*Report, error) {
 		ids := batch
 		batch = nil
 		n := int64(len(ids))
-		// HBM traffic: state read+written, gradient read, weights written.
-		hbmBytes := float64(n * (2*residentB + gradB + cfg.WeightOutBytesPerUnit()))
+		// Host DRAM traffic: state read+written, gradient read, weights out.
+		dramBytes := float64(n * (2*residentB + gradB + woutB))
 		flops := float64(n) * float64(elems) * float64(kernel)
 		newest := ids[0]
 		for _, u := range ids {
@@ -131,11 +137,14 @@ func (s *HostOffload) Run() (*Report, error) {
 			}
 		}
 		grads := gradReady[newest/unitsPerBatch]
+		// Streaming DMA: subgroup transfers ride a standing descriptor
+		// ring, so segments pay wire occupancy without per-DMA setup —
+		// the structural edge this pipeline has over chunked offload.
 		sim.Chain(nil,
-			func(nx func()) { link.FromDevice(n*residentB, nx) },
+			func(nx func()) { link.StreamFromDevice(n*residentB, nx) },
 			func(nx func()) { grads.then(nx) },
-			func(nx func()) { gpu.Run(flops, hbmBytes, span(eng, "gpu-batch", nx)) },
-			func(nx func()) { link.ToDevice(n*residentB, nx) },
+			func(nx func()) { cpu.Run(flops, dramBytes, span(eng, "cpu-batch", nx)) },
+			func(nx func()) { link.StreamToDevice(n*residentB, nx) },
 			func(nx func()) {
 				for _, u := range ids {
 					c := sim.NewCounter(comps, span(eng, "writeback", func() {
@@ -153,13 +162,12 @@ func (s *HostOffload) Run() (*Report, error) {
 
 	var readsArrived int64
 	startUnit := func(u int64) {
-		c := sim.NewCounter(comps, span(eng, "read", func() {
+		c := sim.NewCounter(comps, span(eng, "prefetch", func() {
 			batch = append(batch, u)
 			readsArrived++
 			// Flush full batches; also flush when no reads remain
-			// outstanding — with a small admission window the batch may
-			// never fill (window < batch size), and at the tail no further
-			// arrivals can complete it.
+			// outstanding — a narrow window (deep K) may never fill a batch,
+			// and at the tail no further arrivals can complete one.
 			if int64(len(batch)) >= unitsPerBatch || readsArrived == next {
 				flushBatch()
 			}
@@ -178,7 +186,7 @@ func (s *HostOffload) Run() (*Report, error) {
 	launch()
 	eng.Run()
 	if !finished {
-		return nil, fmt.Errorf("core: hostoffload simulation wedged at %v (%d/%d units)",
+		return nil, fmt.Errorf("core: interleaved simulation wedged at %v (%d/%d units)",
 			eng.Now(), completed, simUnits)
 	}
 
@@ -202,14 +210,12 @@ func (s *HostOffload) Run() (*Report, error) {
 		BusBytes:            int64(float64(counts.BytesIn+counts.BytesOut) * scale),
 		NANDReadBytes:       int64(float64(counts.Reads) * float64(pageSize) * scale),
 		NANDProgramBytes:    int64(float64(counts.Programs) * float64(pageSize) * scale),
-		DRAMBytes:           2 * residentB * totalUnits, // controller DRAM staging
-		HBMBytes:            (2*residentB + gradB + cfg.WeightOutBytesPerUnit()) * totalUnits,
+		DRAMBytes:           (2*residentB + gradB + woutB) * totalUnits, // host update traffic
 		WAF:                 dev.Stats().WAF,
 		Feasible:            true,
 	}
 	r.LinkUtil = link.Utilization()
 	r.BusUtil = meanBusUtil(dev)
-	r.GPUUtil = gpu.Utilization()
 	evalEnergy(r, energy.Activity{
 		NANDReadBytes:    float64(r.NANDReadBytes),
 		NANDProgramBytes: float64(r.NANDProgramBytes),
@@ -217,8 +223,7 @@ func (s *HostOffload) Run() (*Report, error) {
 		BusBytes:         float64(r.BusBytes),
 		PCIeBytes:        float64(r.PCIeBytes),
 		DRAMBytes:        float64(r.DRAMBytes),
-		HBMBytes:         float64(r.HBMBytes),
-		GPUOps:           float64(totalUnits) * float64(elems) * float64(kernel),
+		CPUOps:           float64(totalUnits) * float64(elems) * float64(kernel),
 	})
 	cfg.endToEnd(r)
 	accountFaults(cfg, r, inj)

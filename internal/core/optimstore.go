@@ -7,7 +7,6 @@ import (
 	"repro/internal/host"
 	"repro/internal/layout"
 	"repro/internal/odp"
-	"repro/internal/optim"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -67,7 +66,7 @@ func (s *OptimStore) Run() (*Report, error) {
 		}
 	}
 
-	kernel := optim.KernelFor(cfg.Optimizer)
+	kernel := kernelFor(cfg)
 	elems := cfg.ElemsPerPage()
 	gradB := cfg.GradBytesPerUnit()
 	woutB := cfg.WeightOutBytesPerUnit()

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/optim"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -56,6 +55,8 @@ func RooflineFor(system string, cfg Config) (r Roofline, ok bool) {
 		return OptimStoreRoofline(cfg), true
 	case "hostoffload":
 		return HostOffloadRoofline(cfg), true
+	case "interleaved":
+		return InterleavedRoofline(cfg), true
 	case "ctrlisp":
 		return CtrlISPRoofline(cfg), true
 	case "gpuresident":
@@ -73,7 +74,7 @@ func OptimStoreRoofline(cfg Config) Roofline {
 	comps := float64(cfg.Comps())
 	planes := float64(cfg.SSD.Geometry().Planes())
 	dies := float64(cfg.SSD.Geometry().Dies())
-	kernel := optim.KernelFor(cfg.Optimizer)
+	kernel := kernelFor(cfg)
 	passes := float64(kernel.ReadPasses)
 
 	var r Roofline
@@ -118,13 +119,48 @@ func HostOffloadRoofline(cfg Config) Roofline {
 	// GPU update kernel: the serial GPU resource must stream the state
 	// through HBM and retire the kernel FLOPs. Batch roofline times sum to
 	// at least the whole-step roofline, so this is a valid lower bound.
-	kernel := optim.KernelFor(cfg.Optimizer)
+	kernel := kernelFor(cfg)
 	elems := float64(cfg.ElemsPerPage())
 	gradB := float64(cfg.GradBytesPerUnit())
 	woutB := float64(cfg.WeightOutBytesPerUnit())
 	hbmBytes := touched * (2*residentB + gradB + woutB)
 	flops := touched * elems * float64(kernel.FlopsPerElem)
 	r.Compute = cfg.GPU.KernelTime(flops, hbmBytes)
+	return r
+}
+
+// InterleavedRoofline computes the analytic bound for the interleaved-
+// offloading baseline. The traffic shape is HostOffload's — resident
+// state over PCIe and the channel buses both ways, media read and
+// programmed once per page — but the update kernel runs on the host CPU,
+// whose DRAM-bandwidth roofline replaces the GPU's HBM one. The subgroup
+// depth shapes the pipeline, not the mandatory traffic, so it does not
+// appear here: any K pays the same floor.
+func InterleavedRoofline(cfg Config) Roofline {
+	touched := float64(cfg.TouchedUnits())
+	residentB := float64(cfg.ResidentBytesPerUnit())
+	comps := float64(cfg.Comps())
+	planes := float64(cfg.SSD.Geometry().Planes())
+
+	var r Roofline
+	// Resident state crosses PCIe both ways (full duplex: per direction).
+	r.PCIe = cfg.Link.EffectiveGBps().TransferTimeF(touched * residentB)
+	// And the channel buses both ways (half duplex: sum).
+	bus := cfg.SSD.ChannelMBps().Bps()
+	r.Bus = bus.TransferTimeF(touched * 2 * residentB)
+	// Media: read once, program once per page.
+	perPlanePages := touched * comps / planes
+	r.Media = units.Nanos(perPlanePages *
+		float64(cfg.SSD.Nand.ReadLatency+cfg.SSD.Nand.ProgramLatency))
+	// Host CPU update kernel: state read+written through DRAM, gradients
+	// read, weights produced, plus the kernel FLOPs.
+	kernel := kernelFor(cfg)
+	elems := float64(cfg.ElemsPerPage())
+	gradB := float64(cfg.GradBytesPerUnit())
+	woutB := float64(cfg.WeightOutBytesPerUnit())
+	dramBytes := touched * (2*residentB + gradB + woutB)
+	flops := touched * elems * float64(kernel.FlopsPerElem)
+	r.Compute = cfg.HostCPU.KernelTime(flops, dramBytes)
 	return r
 }
 
@@ -140,7 +176,7 @@ func CtrlISPRoofline(cfg Config) Roofline {
 	woutB := float64(cfg.WeightOutBytesPerUnit())
 	comps := float64(cfg.Comps())
 	planes := float64(cfg.SSD.Geometry().Planes())
-	kernel := optim.KernelFor(cfg.Optimizer)
+	kernel := kernelFor(cfg)
 
 	var r Roofline
 	// PCIe: gradients in, working-precision weights out.
@@ -166,9 +202,9 @@ func CtrlISPRoofline(cfg Config) Roofline {
 // The system is itself analytic, so its report matches the floor exactly.
 func GPUResidentRoofline(cfg Config) Roofline {
 	spec := cfg.Spec()
-	kernel := optim.KernelFor(cfg.Optimizer)
+	kernel := kernelFor(cfg)
 	touched := float64(cfg.Model.Params) * cfg.Model.UpdateFraction()
-	hbmBytes := touched * float64(2*spec.ResidentBytes()+spec.GradBytes+spec.WeightOutBytes)
+	hbmBytes := touched * (2*spec.ResidentBytes() + float64(spec.GradBytes+spec.WeightOutBytes))
 	flops := touched * float64(kernel.FlopsPerElem)
 	return Roofline{Compute: cfg.GPU.KernelTime(flops, hbmBytes)}
 }

@@ -7,7 +7,7 @@ import (
 	"repro/internal/sim"
 )
 
-// TestRooflineGoldenPaperScale pins the analytic floors of all four systems
+// TestRooflineGoldenPaperScale pins the analytic floors of every system
 // on the paper-scale default configuration (GPT-13B on the default SSD and
 // link). The exact nanosecond values are goldens: any change to the traffic
 // accounting, the geometry arithmetic or the device parameters moves them,
@@ -23,6 +23,7 @@ func TestRooflineGoldenPaperScale(t *testing.T) {
 	}{
 		"gpuresident": {0, 0, 0, 234083601, "compute"},
 		"hostoffload": {46581081817, 32500008960, 27151115273, 234083665, "pcie"},
+		"interleaved": {46581081817, 32500008960, 27151115273, 3640001003, "pcie"},
 		"ctrlisp":     {7763513636, 32500008960, 27151115273, 45500012544, "compute"},
 		"optimstore":  {7763513636, 5416668160, 27151115273, 1650391080, "media"},
 	}

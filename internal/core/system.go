@@ -17,13 +17,15 @@ type System interface {
 }
 
 // NewSystem constructs a system by name: "optimstore", "hostoffload",
-// "ctrlisp" or "gpuresident".
+// "interleaved", "ctrlisp" or "gpuresident".
 func NewSystem(name string, cfg Config) (System, error) {
 	switch name {
 	case "optimstore":
 		return NewOptimStore(cfg), nil
 	case "hostoffload":
 		return NewHostOffload(cfg), nil
+	case "interleaved":
+		return NewInterleavedOffload(cfg), nil
 	case "ctrlisp":
 		return NewCtrlISP(cfg), nil
 	case "gpuresident":
@@ -35,7 +37,7 @@ func NewSystem(name string, cfg Config) (System, error) {
 
 // SystemNames lists the systems in presentation order.
 func SystemNames() []string {
-	return []string{"gpuresident", "hostoffload", "ctrlisp", "optimstore"}
+	return []string{"gpuresident", "hostoffload", "interleaved", "ctrlisp", "optimstore"}
 }
 
 // future is a one-shot completion that callbacks can wait on — used to let
@@ -208,5 +210,8 @@ func meanBusUtil(dev *ssd.Device) float64 {
 	return total / float64(cfg.Channels)
 }
 
-// kernelFor returns the ODP kernel descriptor for the configured optimizer.
-func kernelFor(cfg Config) optim.Kernel { return optim.KernelFor(cfg.Optimizer) }
+// kernelFor returns the ODP kernel descriptor for the configured
+// optimizer, with gradient-accumulation fold work priced in.
+func kernelFor(cfg Config) optim.Kernel {
+	return optim.KernelFor(cfg.Optimizer).WithAccum(cfg.Accum())
+}

@@ -27,10 +27,10 @@ func runExp(t *testing.T, id string) *Result {
 
 func TestIDsOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 22 {
-		t.Fatalf("have %d experiments, want 22", len(ids))
+	if len(ids) != 23 {
+		t.Fatalf("have %d experiments, want 23", len(ids))
 	}
-	if ids[0] != "T1" || ids[1] != "T2" || ids[2] != "F1" || ids[21] != "F20" {
+	if ids[0] != "T1" || ids[1] != "T2" || ids[2] != "F1" || ids[22] != "F21" {
 		t.Fatalf("ordering: %v", ids)
 	}
 	for _, id := range ids {
@@ -426,9 +426,9 @@ func TestF20PolicyTrade(t *testing.T) {
 	if cell(t, inplace, 8) <= 0 || !approx.Equal(cell(t, hostpull, 8), 0) {
 		t.Fatalf("WAF cost: inplace %v GB, hostpull %v GB", cell(t, inplace, 8), cell(t, hostpull, 8))
 	}
-	// The cross-system table surfaces the storm to all four systems.
+	// The cross-system table surfaces the storm to all five systems.
 	sys := res.Tables[1]
-	if sys.NumRows() != 4 {
+	if sys.NumRows() != 5 {
 		t.Fatalf("cross-system table has %d rows", sys.NumRows())
 	}
 }

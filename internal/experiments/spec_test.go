@@ -36,6 +36,16 @@ func TestSpecGoldenEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite render in -short mode")
 	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		// Regeneration path for deliberate output changes (new systems or
+		// specs in the registry): UPDATE_GOLDEN=1 go test -run SpecGolden.
+		// The fresh golden still must render byte-identically across
+		// worker-pool widths below.
+		if err := os.WriteFile("testdata/golden_quick.txt",
+			[]byte(renderSuite(t, Options{Quick: true, Parallel: 1})), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 	raw, err := os.ReadFile("testdata/golden_quick.txt")
 	if err != nil {
 		t.Fatal(err)

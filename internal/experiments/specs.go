@@ -40,6 +40,7 @@ var specs = []Spec{
 	specF18(),
 	{ID: "F19", Title: "GC hot/cold stream separation (extension)", Custom: runF19},
 	{ID: "F20", Title: "Fault storms: checkpoint policy comparison (extension)", Custom: runF20},
+	specF21(),
 }
 
 // modelAxis builds an axis whose values swap the model under test.
@@ -635,6 +636,46 @@ func specF18() Spec {
 			Series: []SeriesSpec{{Name: "optimstore",
 				Point: func(o Options, g *Grid, c *Cell) (float64, float64, bool) {
 					return float64(c.Index + 1), c.Reports[0].OptStepTime.Seconds(), true
+				}}},
+		}},
+	}
+}
+
+// specF21 is the subgroup-depth sensitivity of the interleaved-offloading
+// baseline (extension): K partitions the resident state into subgroups
+// whose prefetch/update/write-back phases overlap. Host staging memory
+// shrinks as ~3/K of the state, while the admission window narrows to
+// three subgroups — the sweep shows a flat latency plateau until the
+// window collapses below the pipeline's fill depth.
+func specF21() Spec {
+	return Spec{
+		ID: "F21", Title: "Interleaved-offload subgroup-depth sensitivity (extension)",
+		Axes: func(opts Options) []Axis {
+			depths := []int{1, 2, 4, 8, 16, 32}
+			if opts.Quick {
+				depths = []int{1, 4, 16}
+			}
+			return []Axis{intAxis("subgroups", depths,
+				func(c *core.Config, v int) { c.InterleaveDepth = v })}
+		},
+		Systems: []string{"interleaved"},
+		Tables: []TableSpec{{
+			Title:  "F21: subgroup-depth sweep (GPT-13B, Adam)",
+			Header: []string{"K", "staging-frac", "opt-step-s", "link-util"},
+			Rows: func(o Options, g *Grid, c *Cell) [][]any {
+				frac := 3.0 / float64(c.Cfg.Depth())
+				if frac > 1 {
+					frac = 1
+				}
+				return [][]any{{c.Cfg.Depth(), frac,
+					c.Reports[0].OptStepTime.Seconds(), c.Reports[0].LinkUtil}}
+			},
+		}},
+		Figures: []FigureSpec{{
+			Title: "F21: step latency vs subgroup depth", XLabel: "subgroups K", YLabel: "opt-step seconds",
+			Series: []SeriesSpec{{Name: "interleaved",
+				Point: func(o Options, g *Grid, c *Cell) (float64, float64, bool) {
+					return float64(c.Cfg.Depth()), c.Reports[0].OptStepTime.Seconds(), true
 				}}},
 		}},
 	}

@@ -55,12 +55,12 @@ func runT2(Options) (*Result, error) {
 		"model", "params", "state-GB", "grad-GB", "offload-traffic-GB",
 		"instore-traffic-GB", "fits-A100-40G")
 	for _, m := range dnn.Zoo() {
-		state := float64(m.Params) * float64(spec.ResidentBytes()) / units.BytesPerGB
+		state := float64(m.Params) * spec.ResidentBytes() / units.BytesPerGB
 		grad := float64(m.Params) * float64(spec.GradBytes) / units.BytesPerGB
-		offload := float64(m.Params) * float64(spec.OffloadTrafficBytes()) / units.BytesPerGB
+		offload := float64(m.Params) * spec.OffloadTrafficBytes() / units.BytesPerGB
 		instore := float64(m.Params) * float64(spec.HostTrafficBytes()) / units.BytesPerGB
 		// GPU-resident footprint: working weights + grads + full state.
-		fits := float64(m.Params)*float64(spec.ResidentBytes()+spec.GradBytes+spec.WeightOutBytes)*1.2 < 40e9
+		fits := float64(m.Params)*(spec.ResidentBytes()+float64(spec.GradBytes+spec.WeightOutBytes))*1.2 < 40e9
 		t.AddRow(m.Name, dnn.FormatCount(m.Params), state, grad, offload, instore, fits)
 	}
 	return &Result{Tables: []*stats.Table{t}}, nil

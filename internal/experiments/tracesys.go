@@ -20,7 +20,7 @@ type tracedSystem struct {
 func (t tracedSystem) EventCount() int64      { return t.rep.EventCount() }
 func (t tracedSystem) TraceEventCount() int64 { return int64(t.tr.Len()) }
 
-// TraceSystems runs the four systems plus the checkpoint comparison on
+// TraceSystems runs every system plus the checkpoint comparison on
 // the default configuration with per-job event tracing enabled, and
 // returns the trace-derived metrics as a regular experiment Result
 // together with the recorded traces in run order, ready for

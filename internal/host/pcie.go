@@ -105,6 +105,25 @@ func (l *Link) FromDevice(n int64, done func()) {
 	l.fromDev.Use(l.params.Latency+l.params.TransferTime(n), done)
 }
 
+// StreamToDevice transfers n bytes host→device as one segment of an
+// already-programmed streaming DMA sequence: the device walks a standing
+// descriptor ring, so the segment pays wire occupancy only — no
+// per-transfer initiation latency. The interleaved-offload pipeline uses
+// this for its subgroup prefetch/write-back streams; the per-stream
+// doorbell is amortised over the whole subgroup and is negligible next to
+// the stream's occupancy. Byte accounting is identical to ToDevice.
+func (l *Link) StreamToDevice(n int64, done func()) {
+	l.bytesTo += uint64(n)
+	l.toDev.Use(l.params.TransferTime(n), done)
+}
+
+// StreamFromDevice transfers n bytes device→host as one segment of a
+// streaming DMA sequence (see StreamToDevice).
+func (l *Link) StreamFromDevice(n int64, done func()) {
+	l.bytesFrm += uint64(n)
+	l.fromDev.Use(l.params.TransferTime(n), done)
+}
+
 // BytesToDevice returns the total bytes moved host→device.
 func (l *Link) BytesToDevice() uint64 { return l.bytesTo }
 

@@ -42,7 +42,7 @@ func Configs(seed int64, n int) []core.Config {
 // but less often, since it exercises a different pipeline shape.
 var elementWise = []optim.Kind{
 	optim.SGD, optim.Momentum, optim.Nesterov, optim.Adagrad,
-	optim.RMSProp, optim.Adam, optim.AdamW, optim.AMSGrad,
+	optim.RMSProp, optim.Adam, optim.AdamW, optim.AMSGrad, optim.AdamA,
 }
 
 func sample(rng *rand.Rand) core.Config {
@@ -83,6 +83,13 @@ func sample(rng *rand.Rand) core.Config {
 	// Scale the on-die units across a plausible design range.
 	cfg.ODP.ClockMHz = []int{200, 400, 800}[rng.Intn(3)]
 	cfg.ODP.Lanes = []int{4, 8, 16}[rng.Intn(3)]
+	// AdamA folds micro-batch gradients into state; other kinds reject
+	// GradAccum > 1 in Validate, so only sample it for AdamA.
+	if cfg.Optimizer == optim.AdamA {
+		cfg.GradAccum = []int{1, 2, 4, 8}[rng.Intn(4)]
+	}
+	// Subgroup depth for the interleaved system (ignored by the others).
+	cfg.InterleaveDepth = []int{1, 2, 4, 8, 16}[rng.Intn(5)]
 	return cfg
 }
 

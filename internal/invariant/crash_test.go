@@ -190,17 +190,30 @@ func faultStormConfigs() []core.Config {
 // 200-config mixed-fault sweep renders byte-identically across reruns and
 // across worker widths (1 vs 8).
 func TestFaultSweepDeterminism(t *testing.T) {
+	// Both fault-bearing offload pipelines sweep: optimstore (on-die
+	// update) and interleaved (host update via subgroup streams) schedule
+	// faults against very different event shapes, so determinism of one
+	// does not imply the other.
+	systems := []string{OptimStore, Interleaved}
 	sweep := func(width int) []string {
 		cfgs := faultStormConfigs()
-		results := runner.Map(width, cfgs, func(cfg core.Config) (*core.Report, error) {
-			return Run(OptimStore, cfg)
+		results := runner.Map(width, cfgs, func(cfg core.Config) (string, error) {
+			var s string
+			for _, sys := range systems {
+				r, err := Run(sys, cfg)
+				if err != nil {
+					return "", fmt.Errorf("%s: %w", sys, err)
+				}
+				s += fmt.Sprintf("%s: %+v\n", sys, r)
+			}
+			return s, nil
 		})
 		out := make([]string, len(results))
 		for i, res := range results {
 			if res.Err != nil {
 				t.Fatalf("config %d: %v\n  cfg: %s", i, res.Err, describe(cfgs[i]))
 			}
-			out[i] = fmt.Sprintf("%+v", res.Value)
+			out[i] = res.Value
 		}
 		return out
 	}
@@ -217,12 +230,14 @@ func TestFaultSweepDeterminism(t *testing.T) {
 		}
 	}
 	// The sweep must actually exercise faults, not vacuously agree.
-	reports := runner.Map(8, faultStormConfigs(), func(cfg core.Config) (*core.Report, error) {
-		return Run(OptimStore, cfg)
-	})
-	for _, res := range reports {
-		if res.Err == nil {
-			fired += res.Value.PowerLossFaults + res.Value.DieFailFaults + res.Value.ECCFaults
+	for _, sys := range systems {
+		reports := runner.Map(8, faultStormConfigs(), func(cfg core.Config) (*core.Report, error) {
+			return Run(sys, cfg)
+		})
+		for _, res := range reports {
+			if res.Err == nil {
+				fired += res.Value.PowerLossFaults + res.Value.DieFailFaults + res.Value.ECCFaults
+			}
 		}
 	}
 	if fired == 0 {

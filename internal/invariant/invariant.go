@@ -26,17 +26,18 @@ import (
 	"repro/internal/core"
 )
 
-// Constructor-name keys for the four systems (see core.NewSystem).
+// Constructor-name keys for the five systems (see core.NewSystem).
 const (
 	OptimStore  = "optimstore"
 	HostOffload = "hostoffload"
+	Interleaved = "interleaved"
 	CtrlISP     = "ctrlisp"
 	GPUResident = "gpuresident"
 )
 
 // SystemNames lists the auditable systems in core's presentation order.
 func SystemNames() []string {
-	return []string{GPUResident, HostOffload, CtrlISP, OptimStore}
+	return []string{GPUResident, HostOffload, Interleaved, CtrlISP, OptimStore}
 }
 
 // Property is one checkable invariant. Check returns nil when the report

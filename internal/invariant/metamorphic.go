@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/layout"
 )
 
 // Metamorphic properties: relations between runs rather than facts about
@@ -98,13 +99,23 @@ func CheckResourceMonotonicity(system string, cfg core.Config) ([]MonotonicityVi
 	mutations := []struct {
 		name   string
 		mutate func(*core.Config)
+		// topology mutations change page placement, which only the
+		// plane-balanced Colocated layout is guaranteed to benefit from —
+		// Linear packs the window into the first planes regardless of how
+		// many exist, so extra dies can legitimately shift (and worsen)
+		// placement phase. Same reasoning as the roofline sandwich's
+		// Colocated restriction.
+		topology bool
 	}{
-		{"2x-channels", func(c *core.Config) { c.SSD.Channels *= 2 }},
-		{"2x-dies", func(c *core.Config) { c.SSD.DiesPerChannel *= 2 }},
-		{"2x-pcie", func(c *core.Config) { c.Link.GBps *= 2 }},
+		{"2x-channels", func(c *core.Config) { c.SSD.Channels *= 2 }, true},
+		{"2x-dies", func(c *core.Config) { c.SSD.DiesPerChannel *= 2 }, true},
+		{"2x-pcie", func(c *core.Config) { c.Link.GBps *= 2 }, false},
 	}
 	var out []MonotonicityViolation
 	for _, m := range mutations {
+		if m.topology && cfg.Layout != layout.Colocated {
+			continue
+		}
 		mcfg := cfg
 		m.mutate(&mcfg)
 		mut, err := Run(system, mcfg)

@@ -12,7 +12,7 @@ import (
 
 // simulated lists the systems that run the discrete-event pipeline (and
 // therefore carry window-level counters); GPUResident is analytic.
-var simulated = []string{OptimStore, HostOffload, CtrlISP}
+var simulated = []string{OptimStore, HostOffload, Interleaved, CtrlISP}
 
 // scaled extrapolates a window-level byte count to the full step exactly
 // the way the systems' report code does, so conservation comparisons are
@@ -27,6 +27,7 @@ func init() {
 	Register(Property{Name: "bus-conservation", Systems: simulated, Check: checkBusConservation})
 	Register(Property{Name: "nand-accounting", Systems: simulated, Check: checkNANDAccounting})
 	Register(Property{Name: "roofline-sandwich", Check: checkRooflineSandwich})
+	Register(Property{Name: "footprint-rounding", Check: checkFootprintRounding})
 }
 
 // checkReportSane enforces the structural facts every report must satisfy
@@ -97,8 +98,10 @@ func checkPCIeConservation(system string, cfg core.Config, r *core.Report) error
 		// Gradients stream in, working-precision weights stream out.
 		wantTo = simUnits * cfg.GradBytesPerUnit()
 		wantFrom = simUnits * cfg.WeightOutBytesPerUnit()
-	case HostOffload:
-		// The full resident state crosses in both directions.
+	case HostOffload, Interleaved:
+		// The full resident state crosses in both directions (Interleaved
+		// moves it in subgroup streams, HostOffload in chunked DMAs — the
+		// bytes are identical).
 		wantTo = simUnits * cfg.ResidentBytesPerUnit()
 		wantFrom = simUnits * cfg.ResidentBytesPerUnit()
 	case GPUResident:
@@ -142,7 +145,7 @@ func checkBusConservation(system string, cfg core.Config, r *core.Report) error 
 		}
 		// Non-colocated layouts bounce mis-placed pages over the bus too.
 		exact = cfg.Layout == layout.Colocated
-	case HostOffload, CtrlISP:
+	case HostOffload, Interleaved, CtrlISP:
 		// Every resident page crosses the bus out of its die and back,
 		// wherever the layout put it. (Gradients and output weights move
 		// between controller and PCIe without touching the channel bus.)
@@ -200,6 +203,7 @@ func checkNANDAccounting(system string, cfg core.Config, r *core.Report) error {
 var sandwichK = map[string]float64{
 	OptimStore:  2.5,
 	HostOffload: 2.5,
+	Interleaved: 2.5,
 	CtrlISP:     2.5,
 	GPUResident: 1.0005,
 }
@@ -252,6 +256,24 @@ func checkRooflineSandwich(system string, cfg core.Config, r *core.Report) error
 	if simT > upper {
 		return fmt.Errorf("simulated %v exceeds %.3g× analytic floor %v + ramp slack (limit %v, binding: %s)",
 			simT, k, floor, upper, rf.Binding())
+	}
+	return nil
+}
+
+// checkFootprintRounding pins the direction of the gap between the two
+// state-footprint accountings: the byte-exact analytic figure (parameters
+// × per-parameter resident bytes, including fractional quantization-scale
+// overhead) must never exceed the page-rounded figure the simulation
+// stores (Comps whole NAND pages per unit). The rounding is intentional —
+// a page is the smallest unit the media can read or program — but the gap
+// silently inverting would mean the analytic accounting (endurance,
+// checkpoint sizing, BoundFor) started overstating the simulated device.
+func checkFootprintRounding(_ string, cfg core.Config, _ *core.Report) error {
+	analytic := float64(cfg.ElemsPerPage()) * cfg.Spec().ResidentBytes()
+	rounded := float64(cfg.ResidentBytesPerUnit())
+	if analytic > rounded {
+		return fmt.Errorf("analytic per-unit footprint %.2f B exceeds page-rounded %d B (%d pages)",
+			analytic, cfg.ResidentBytesPerUnit(), cfg.Comps())
 	}
 	return nil
 }

@@ -14,13 +14,17 @@ func GlobalNorm(g []float32) float64 {
 // ClipGlobalNorm scales g in place so its L2 norm does not exceed maxNorm
 // (the standard large-model training safeguard) and returns the norm
 // observed before clipping. Non-positive maxNorm panics. A zero gradient
-// is left untouched.
+// is left untouched. A non-finite norm (NaN or Inf — overflowed or
+// poisoned gradients) is returned unclipped with g untouched: scaling by
+// maxNorm/NaN would poison every weight and maxNorm/Inf would zero them,
+// so the caller can observe the norm and skip the step, as large-model
+// trainers do.
 func ClipGlobalNorm(g []float32, maxNorm float64) float64 {
 	if maxNorm <= 0 {
 		panic("optim: ClipGlobalNorm with non-positive maxNorm")
 	}
 	norm := GlobalNorm(g)
-	if norm <= maxNorm || norm == 0 {
+	if norm <= maxNorm || norm == 0 || math.IsNaN(norm) || math.IsInf(norm, 0) {
 		return norm
 	}
 	scale := float32(maxNorm / norm)

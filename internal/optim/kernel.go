@@ -19,6 +19,23 @@ type Kernel struct {
 	// GlobalReduce marks optimizers needing a cross-die reduction between
 	// passes (LAMB's ‖w‖, ‖r‖). The engine inserts a controller round-trip.
 	GlobalReduce bool
+
+	// FoldFlops counts the extra per-element operations of folding one
+	// additional micro-batch gradient into resident state (AdamA's
+	// in-state accumulation). Zero for optimizers without an
+	// accumulation form; WithAccum uses it.
+	FoldFlops int
+}
+
+// WithAccum returns the kernel with n gradient-accumulation passes per
+// step priced in: each micro-batch beyond the first costs FoldFlops extra
+// operations per element, without additional state read passes. n below 2
+// or a zero FoldFlops leaves the kernel unchanged.
+func (k Kernel) WithAccum(n int) Kernel {
+	if n > 1 && k.FoldFlops > 0 {
+		k.FlopsPerElem += k.FoldFlops * (n - 1)
+	}
+	return k
 }
 
 // KernelFor returns the kernel descriptor for an optimizer kind.
@@ -45,6 +62,9 @@ func KernelFor(kind Kind) Kernel {
 		k.GlobalReduce = true
 	case AMSGrad:
 		k.FlopsPerElem = 15 // Adam plus the running max
+	case AdamA:
+		k.FlopsPerElem = 14 // Adam with v tracking m² instead of g²
+		k.FoldFlops = 4     // per extra micro-batch: m-EMA fold + wd term
 	default:
 		panic("optim: unknown kernel kind")
 	}

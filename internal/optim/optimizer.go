@@ -24,11 +24,16 @@ const (
 	// AMSGrad is Adam with a maintained maximum of the second moment
 	// (Reddi et al.): a third state word per parameter.
 	AMSGrad
+	// AdamA is Adam Accumulation (Zhang et al.): micro-batch gradients are
+	// folded directly into the first moment instead of being buffered, so a
+	// gradient-accumulation step of N micro-batches keeps Adam's two state
+	// words while the second moment tracks the accumulated first moment.
+	AdamA
 )
 
 // Kinds lists every supported optimizer, in presentation order.
 func Kinds() []Kind {
-	return []Kind{SGD, Momentum, Nesterov, Adagrad, RMSProp, Adam, AdamW, LAMB, AMSGrad}
+	return []Kind{SGD, Momentum, Nesterov, Adagrad, RMSProp, Adam, AdamW, LAMB, AMSGrad, AdamA}
 }
 
 // String returns the conventional name.
@@ -52,6 +57,8 @@ func (k Kind) String() string {
 		return "LAMB"
 	case AMSGrad:
 		return "AMSGrad"
+	case AdamA:
+		return "AdamA"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -148,6 +155,8 @@ func New(kind Kind, hp Hyper) Optimizer {
 		return &lamb{hp: hp}
 	case AMSGrad:
 		return &amsgrad{hp: hp}
+	case AdamA:
+		return &adamA{hp: hp}
 	default:
 		panic(fmt.Sprintf("optim: unknown kind %d", int(kind)))
 	}

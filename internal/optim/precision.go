@@ -45,7 +45,7 @@ func StateWordsFor(kind Kind) int {
 		return 0
 	case Momentum, Nesterov, Adagrad, RMSProp:
 		return 1
-	case Adam, AdamW, LAMB:
+	case Adam, AdamW, LAMB, AdamA:
 		return 2
 	case AMSGrad:
 		return 3
@@ -53,6 +53,13 @@ func StateWordsFor(kind Kind) int {
 		panic(fmt.Sprintf("optim: unknown kind %d", int(kind)))
 	}
 }
+
+// QuantBlockSize is the block length of the block-wise 8-bit state
+// quantization (Dettmers et al.): one float32 absmax scale per state word
+// per block of this many parameters. Adam8bit and the Q8State spec share
+// it so the concrete optimizer and the traffic accounting can never
+// disagree about the scale overhead.
+const QuantBlockSize = 256
 
 // StateSpec describes the per-parameter byte footprint of one
 // (optimizer, precision) pair across every interface of the system.
@@ -64,6 +71,12 @@ type StateSpec struct {
 	MasterBytes int
 	// StateBytes is the resident optimizer state (moments etc.).
 	StateBytes int
+	// ScaleBytesPerParam is the amortised per-parameter overhead of
+	// block-wise quantization metadata (the float32 absmax scales of
+	// Q8State: one per state word per QuantBlockSize parameters). Zero
+	// for unquantized precisions. Fractional, so footprint methods that
+	// include it return float64.
+	ScaleBytesPerParam float64
 	// GradBytes is the per-parameter gradient arriving from the host.
 	GradBytes int
 	// WeightOutBytes is the per-parameter working-precision weight
@@ -90,14 +103,32 @@ func SpecFor(kind Kind, p Precision) StateSpec {
 		s.GradBytes = 2
 		s.WeightOutBytes = 2
 		s.StateBytes = StateWordsFor(kind) // 1 byte per state word
+		// One float32 absmax per state word per quantization block —
+		// the same accounting Adam8bit.StateBytesPerParam makes.
+		s.ScaleBytesPerParam = float64(4*StateWordsFor(kind)) / QuantBlockSize
 	default:
 		panic(fmt.Sprintf("optim: unknown precision %d", int(p)))
 	}
 	return s
 }
 
-// ResidentBytes is the per-parameter footprint living in storage.
-func (s StateSpec) ResidentBytes() int { return s.MasterBytes + s.StateBytes }
+// WithAccum returns the spec with n gradient-accumulation passes per
+// step priced in: AdamA (Zhang et al.) folds each micro-batch gradient
+// into the resident moments, so a step of n micro-batches moves n
+// gradients' worth of traffic while the resident state is still read and
+// written once. n below 1 is treated as 1.
+func (s StateSpec) WithAccum(n int) StateSpec {
+	if n > 1 {
+		s.GradBytes *= n
+	}
+	return s
+}
+
+// ResidentBytes is the per-parameter footprint living in storage,
+// including fractional quantization-scale overhead.
+func (s StateSpec) ResidentBytes() float64 {
+	return float64(s.MasterBytes+s.StateBytes) + s.ScaleBytesPerParam
+}
 
 // HostTrafficBytes is the per-parameter traffic that must cross the
 // host↔device interface per step when the update happens in storage:
@@ -108,11 +139,11 @@ func (s StateSpec) HostTrafficBytes() int { return s.GradBytes + s.WeightOutByte
 // when the update happens at the host: the entire resident state is read
 // and written back, gradients stay on the host, and the working-precision
 // weight is produced host-side for free.
-func (s StateSpec) OffloadTrafficBytes() int { return 2 * s.ResidentBytes() }
+func (s StateSpec) OffloadTrafficBytes() float64 { return 2 * s.ResidentBytes() }
 
 // MediaRMWBytes is the per-parameter NAND traffic of the in-storage
 // read-modify-write: resident state read once and programmed once
 // (times the number of kernel passes for multi-pass optimizers).
-func (s StateSpec) MediaRMWBytes(passes int) int {
-	return s.ResidentBytes()*passes + s.ResidentBytes()
+func (s StateSpec) MediaRMWBytes(passes int) float64 {
+	return s.ResidentBytes()*float64(passes) + s.ResidentBytes()
 }

@@ -26,10 +26,11 @@ type Adam8bit struct {
 	vScale []float32 // per-block max of v
 }
 
-// NewAdam8bit builds the optimizer with the conventional 256-element
-// quantization blocks.
+// NewAdam8bit builds the optimizer with the conventional QuantBlockSize
+// (256-element) quantization blocks — the same constant the Q8State spec
+// uses for its scale-overhead accounting.
 func NewAdam8bit(hp Hyper) *Adam8bit {
-	return &Adam8bit{hp: hp.withDefaults(), blockSize: 256}
+	return &Adam8bit{hp: hp.withDefaults(), blockSize: QuantBlockSize}
 }
 
 // Name returns the algorithm name.

@@ -10,8 +10,10 @@ import (
 	"repro/internal/tracing"
 )
 
-// sweep32 builds the benchmark workload: a 32-point sweep (8 channel
-// counts × 4 systems) of independent simulation jobs, the grid shape
+// sweep32 builds the benchmark workload: a sweep of 8 channel counts ×
+// 5 systems (40 independent simulation jobs; the name predates the fifth
+// system and is kept so the snapshot trajectory stays comparable), the
+// grid shape
 // cmd/sweep produces. Every job constructs its own System and Engine.
 // When traced, each job records into a private tracing.Trace, the shape
 // cmd/sweep -trace runs.
@@ -41,7 +43,7 @@ func sweep32Opt(traced bool) []Job[*core.Report] {
 
 func sweep32() []Job[*core.Report] { return sweep32Opt(false) }
 
-// BenchmarkSweep32 measures wall-clock of the 32-point sweep at several
+// BenchmarkSweep32 measures wall-clock of the channel×system sweep at several
 // pool widths. On an N-core host the workers=N case should approach N×
 // the workers=1 throughput (the jobs share nothing), demonstrating
 // near-linear scaling; compare the ns/op of the sub-benchmarks.

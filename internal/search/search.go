@@ -58,7 +58,7 @@ func DefaultSpace() Space {
 		BusMBps:        []int{800, 1200, 2400},
 		OverProvision:  []float64{0.07, 0.125, 0.25},
 		Layouts:        layout.Strategies(),
-		Optimizers:     []optim.Kind{optim.SGD, optim.Adam, optim.LAMB},
+		Optimizers:     []optim.Kind{optim.SGD, optim.Adam, optim.LAMB, optim.AdamA},
 		Retire: []ecc.RetirePolicy{
 			{},
 			{RetryBudget: 8, ProbationReads: 4},
